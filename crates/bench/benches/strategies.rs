@@ -1,0 +1,54 @@
+//! Ablation across every nested relational strategy (§4.1 and §4.2) on
+//! the paper's Query 2b — the design-choice comparison DESIGN.md calls
+//! out: two-pass vs fused, top-down vs bottom-up, nest push-down.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nra_bench::*;
+use nra_core::Strategy;
+
+fn strategies(c: &mut Criterion) {
+    let scale = bench_scale();
+    let cat = bench_catalog(scale);
+    let grid = paper_grid(scale);
+    let part = *grid.q23_part.last().unwrap();
+    let sql = q2_sql(&cat, Quant::All, part, grid.q23_partsupp);
+    let bound = nra_sql::parse_and_bind(&sql, &cat).unwrap();
+
+    let mut g = c.benchmark_group("strategies_q2b");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for (name, strategy) in [
+        ("original", Strategy::Original),
+        ("optimized", Strategy::Optimized),
+        ("bottom-up", Strategy::BottomUp),
+        ("bottom-up-pushdown", Strategy::BottomUpPushdown),
+    ] {
+        g.bench_with_input(BenchmarkId::new(name, part), &bound, |b, bq| {
+            b.iter(|| nra_core::execute(bq, &cat, strategy).unwrap());
+        });
+    }
+    g.finish();
+
+    // The positive rewrite, on the positive variant of the query.
+    let sql = q2_sql(&cat, Quant::Any, part, grid.q23_partsupp).replace("not exists", "exists");
+    let bound = nra_sql::parse_and_bind(&sql, &cat).unwrap();
+    let mut g = c.benchmark_group("strategies_q2_positive");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for (name, strategy) in [
+        ("optimized", Strategy::Optimized),
+        ("positive-rewrite", Strategy::PositiveRewrite),
+    ] {
+        g.bench_with_input(BenchmarkId::new(name, part), &bound, |b, bq| {
+            b.iter(|| nra_core::execute(bq, &cat, strategy).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, strategies);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! The nested relational model of the paper's Section 3.
+//!
+//! A nested schema has atomic attributes plus named subschemas
+//! (Definition 1); a nested tuple carries one value per atomic attribute
+//! and one *set of nested tuples* per subschema (Definition 2). The paper's
+//! key observation is that the result of a non-aggregate subquery, for a
+//! given outer tuple, is exactly such a set-valued attribute.
+
+mod relation;
+mod schema;
+
+pub use relation::{NestedRelation, NestedTuple};
+pub use schema::NestedSchema;

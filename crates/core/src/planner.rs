@@ -1,0 +1,83 @@
+//! Strategy selection for the nested relational approach.
+
+use nra_engine::EngineError;
+use nra_sql::BoundQuery;
+use nra_storage::{Catalog, Relation};
+
+use crate::compute::{execute_original, execute_with_style, NestStyle};
+use crate::optimize::{
+    execute_bottom_up, execute_bottom_up_pushdown, execute_optimized, execute_positive_rewrite,
+};
+
+/// An execution strategy for the nested relational approach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Algorithm 1 with separate nest and linking-selection passes
+    /// (the paper's "original nested relational approach").
+    Original,
+    /// Algorithm 1 with the fused one-pass nest+selection, upgraded to the
+    /// single-sort pipelined cascade on linear queries (the paper's
+    /// "optimized nested relational approach").
+    Optimized,
+    /// Bottom-up evaluation (§4.2.3); linear correlated queries only.
+    BottomUp,
+    /// Bottom-up with nest pushed below the joins (§4.2.4); linear
+    /// correlated queries with equality correlation only.
+    BottomUpPushdown,
+    /// Semijoin rewrite (§4.2.5); all-positive queries only.
+    PositiveRewrite,
+    /// Pick automatically: positive rewrite when possible, then the
+    /// push-down / bottom-up family, then the optimized cascade.
+    Auto,
+}
+
+/// The strategy [`Strategy::Auto`] resolves to for a given query.
+pub fn auto_strategy(query: &BoundQuery) -> Strategy {
+    if query.all_links_positive() && query.root.block_count() > 1 {
+        Strategy::PositiveRewrite
+    } else if query.is_linear_correlated() {
+        Strategy::BottomUpPushdown
+    } else {
+        Strategy::Optimized
+    }
+}
+
+/// Execute a bound query with the given strategy.
+pub fn execute(
+    query: &BoundQuery,
+    catalog: &Catalog,
+    strategy: Strategy,
+) -> Result<Relation, EngineError> {
+    match strategy {
+        Strategy::Original => execute_original(query, catalog),
+        Strategy::Optimized => execute_optimized(query, catalog),
+        Strategy::BottomUp => execute_bottom_up(query, catalog),
+        Strategy::BottomUpPushdown => match execute_bottom_up_pushdown(query, catalog) {
+            Err(EngineError::Unsupported(_)) => execute_bottom_up(query, catalog),
+            other => other,
+        },
+        Strategy::PositiveRewrite => execute_positive_rewrite(query, catalog),
+        Strategy::Auto => {
+            let chosen = auto_strategy(query);
+            debug_assert_ne!(chosen, Strategy::Auto);
+            match execute(query, catalog, chosen) {
+                // The static checks in auto_strategy are conservative but
+                // the specialised executors may still bail (e.g. push-down
+                // on non-equality correlation); fall back to the general
+                // optimized path.
+                Err(EngineError::Unsupported(_)) => execute_optimized(query, catalog),
+                other => other,
+            }
+        }
+    }
+}
+
+/// Algorithm 1 with a chosen nest style — exposed for the processing-cost
+/// ablation benchmarks.
+pub fn execute_style(
+    query: &BoundQuery,
+    catalog: &Catalog,
+    style: NestStyle,
+) -> Result<Relation, EngineError> {
+    execute_with_style(query, catalog, style)
+}

@@ -1,0 +1,335 @@
+//! The *tree expression* of the paper's Section 4 (Figure 3a) and the
+//! query tree it compiles to (Figure 3b), as displayable structures.
+//!
+//! Step 2 of the approach builds, from the query blocks, a tree with one
+//! node `T_i` per block and edges labelled by the linking predicate `L_i`
+//! and the correlated predicates `C_ij`. Step 3 (Algorithm 1) walks it
+//! depth-first, producing the operator pipeline of outer joins going down
+//! and nest + linking selections coming back up. This module renders both,
+//! powering `EXPLAIN`-style output for the nested relational engine.
+
+use std::fmt;
+
+use nra_sql::{BoundQuery, LinkOp, QueryBlock};
+
+use crate::compute::edge_modes;
+
+/// One node of the tree expression: a reduced query block `T_i`.
+#[derive(Debug, Clone)]
+pub struct TreeNode {
+    /// The paper's `T_i` index (block id).
+    pub id: usize,
+    /// The block's FROM tables (exposed names).
+    pub tables: Vec<String>,
+    /// The local predicates `Δ_i` applied when reducing the block.
+    pub local: Vec<String>,
+    /// Children, each with its edge labels.
+    pub children: Vec<TreeEdge>,
+}
+
+/// An edge of the tree expression.
+#[derive(Debug, Clone)]
+pub struct TreeEdge {
+    /// The linking predicate `L_i`, rendered.
+    pub link: String,
+    /// Whether the linking selection for this edge is the pseudo-selection
+    /// `σ̄` (negative/mixed context) or the plain `σ`.
+    pub pseudo: bool,
+    /// The correlated predicates `C_ij`, rendered.
+    pub correlated: Vec<String>,
+    pub node: TreeNode,
+}
+
+/// The tree expression of a bound query.
+#[derive(Debug, Clone)]
+pub struct TreeExpr {
+    pub root: TreeNode,
+}
+
+fn render_pred(p: &nra_sql::BPred) -> String {
+    fn expr(e: &nra_sql::BExpr) -> String {
+        match e {
+            nra_sql::BExpr::Col(c) => c.clone(),
+            nra_sql::BExpr::Lit(v) => v.to_string(),
+            nra_sql::BExpr::Arith { op, left, right } => {
+                format!("({} {} {})", expr(left), op.symbol(), expr(right))
+            }
+        }
+    }
+    match p {
+        nra_sql::BPred::Cmp { left, op, right } => {
+            format!("{} {} {}", expr(left), op, expr(right))
+        }
+        nra_sql::BPred::Between {
+            expr: e,
+            low,
+            high,
+            negated,
+        } => format!(
+            "{} {}between {} and {}",
+            expr(e),
+            if *negated { "not " } else { "" },
+            expr(low),
+            expr(high)
+        ),
+        nra_sql::BPred::IsNull { expr: e, negated } => {
+            format!("{} is {}null", expr(e), if *negated { "not " } else { "" })
+        }
+        nra_sql::BPred::InList {
+            expr: e,
+            list,
+            negated,
+        } => format!(
+            "{} {}in ({})",
+            expr(e),
+            if *negated { "not " } else { "" },
+            list.iter().map(expr).collect::<Vec<_>>().join(", ")
+        ),
+        nra_sql::BPred::And(a, b) => format!("({} and {})", render_pred(a), render_pred(b)),
+        nra_sql::BPred::Or(a, b) => format!("({} or {})", render_pred(a), render_pred(b)),
+        nra_sql::BPred::Not(inner) => format!("not ({})", render_pred(inner)),
+        nra_sql::BPred::Const(t) => format!("{t:?}"),
+    }
+}
+
+fn render_link(edge: &nra_sql::SubqueryEdge) -> String {
+    let attr = |e: &Option<nra_sql::BExpr>| -> String {
+        match e {
+            Some(nra_sql::BExpr::Col(c)) => c.clone(),
+            Some(other) => render_pred(&nra_sql::BPred::Cmp {
+                left: other.clone(),
+                op: nra_storage::CmpOp::Eq,
+                right: other.clone(),
+            })
+            .split(" =")
+            .next()
+            .unwrap_or("<expr>")
+            .to_string(),
+            None => String::new(),
+        }
+    };
+    let inner = edge
+        .inner_expr
+        .as_ref()
+        .and_then(|e| e.as_column().map(str::to_string))
+        .unwrap_or_else(|| "·".to_string());
+    match edge.link {
+        LinkOp::Exists => format!("{{{inner}}} ≠ ∅ (exists)"),
+        LinkOp::NotExists => format!("{{{inner}}} = ∅ (not exists)"),
+        LinkOp::Some(op) => {
+            format!("{} {} SOME {{{inner}}}", attr(&edge.outer_expr), op)
+        }
+        LinkOp::All(op) => {
+            format!("{} {} ALL {{{inner}}}", attr(&edge.outer_expr), op)
+        }
+        LinkOp::Agg { op, func } => {
+            format!(
+                "{} {} {}{{{inner}}}",
+                attr(&edge.outer_expr),
+                op,
+                func.name()
+            )
+        }
+    }
+}
+
+impl TreeExpr {
+    /// Build the tree expression for a bound query (the paper's step 2).
+    pub fn build(query: &BoundQuery) -> TreeExpr {
+        let modes = edge_modes(query);
+        fn node(block: &QueryBlock, modes: &std::collections::HashMap<usize, bool>) -> TreeNode {
+            TreeNode {
+                id: block.id,
+                tables: block.tables.iter().map(|t| t.exposed.clone()).collect(),
+                local: block.local_preds.iter().map(render_pred).collect(),
+                children: block
+                    .children
+                    .iter()
+                    .map(|edge| TreeEdge {
+                        link: render_link(edge),
+                        pseudo: *modes.get(&edge.block.id).unwrap_or(&false),
+                        correlated: edge
+                            .block
+                            .correlated_preds
+                            .iter()
+                            .map(render_pred)
+                            .collect(),
+                        node: node(&edge.block, modes),
+                    })
+                    .collect(),
+            }
+        }
+        TreeExpr {
+            root: node(&query.root, &modes),
+        }
+    }
+
+    /// Render the Algorithm-1 operator pipeline (the paper's Figure 3b):
+    /// the projection on top, then per edge (in evaluation order) the
+    /// linking selection, the nest, and the left outer join below it.
+    pub fn render_plan(&self) -> String {
+        let mut out = String::new();
+        out.push_str("π (root select)\n");
+        fn edges(node: &TreeNode, depth: usize, out: &mut String) {
+            for edge in &node.children {
+                let pad = "  ".repeat(depth);
+                let sigma = if edge.pseudo { "σ̄" } else { "σ" };
+                out.push_str(&format!("{pad}{sigma} {}\n", edge.link));
+                out.push_str(&format!(
+                    "{pad}υ nest by prefix, keep T{} columns\n",
+                    edge.node.id
+                ));
+                edges(&edge.node, depth + 1, out);
+                let corr = if edge.correlated.is_empty() {
+                    "(uncorrelated: virtual Cartesian product)".to_string()
+                } else {
+                    edge.correlated.join(" ∧ ")
+                };
+                out.push_str(&format!(
+                    "{pad}⟕ {corr}  [T{} = {}{}]\n",
+                    edge.node.id,
+                    edge.node.tables.join(" × "),
+                    if edge.node.local.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" | σ {}", edge.node.local.join(" ∧ "))
+                    }
+                ));
+            }
+        }
+        edges(&self.root, 1, &mut out);
+        out.push_str(&format!(
+            "  T{} = {}{}\n",
+            self.root.id,
+            self.root.tables.join(" × "),
+            if self.root.local.is_empty() {
+                String::new()
+            } else {
+                format!(" | σ {}", self.root.local.join(" ∧ "))
+            }
+        ));
+        out
+    }
+}
+
+impl fmt::Display for TreeExpr {
+    /// Render the tree expression itself (the paper's Figure 3a).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(node: &TreeNode, depth: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            let pad = "  ".repeat(depth);
+            write!(f, "{pad}T{}: {}", node.id, node.tables.join(", "))?;
+            if !node.local.is_empty() {
+                write!(f, "  [Δ: {}]", node.local.join(" ∧ "))?;
+            }
+            writeln!(f)?;
+            for edge in &node.children {
+                let pad = "  ".repeat(depth + 1);
+                write!(f, "{pad}L: {}", edge.link)?;
+                if edge.pseudo {
+                    write!(f, "  (σ̄)")?;
+                }
+                if !edge.correlated.is_empty() {
+                    write!(f, "  C: {}", edge.correlated.join(" ∧ "))?;
+                }
+                writeln!(f)?;
+                go(&edge.node, depth + 1, f)?;
+            }
+            Ok(())
+        }
+        go(&self.root, 0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nra_sql::parse_and_bind;
+    use nra_storage::{Catalog, Column, ColumnType, Schema, Table};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        for (name, cols) in [
+            ("r", ["a", "b", "c", "d"].as_slice()),
+            ("s", &["e", "f", "g", "h", "i"]),
+            ("t", &["j", "k", "l"]),
+        ] {
+            let schema = Schema::new(
+                cols.iter()
+                    .map(|c| Column::new(*c, ColumnType::Int))
+                    .collect(),
+            );
+            cat.add_table(Table::new(name, schema)).unwrap();
+        }
+        cat
+    }
+
+    const QUERY_Q: &str = "select r.b, r.c, r.d from r \
+         where r.a > 1 and r.b not in \
+           (select s.e from s where s.f = 5 and r.d = s.g and s.h > all \
+              (select t.j from t where t.k = r.c and t.l <> s.i))";
+
+    #[test]
+    fn tree_expression_matches_figure_3a() {
+        let bq = parse_and_bind(QUERY_Q, &catalog()).unwrap();
+        let tree = TreeExpr::build(&bq);
+        assert_eq!(tree.root.id, 1);
+        assert_eq!(tree.root.children.len(), 1);
+        let e2 = &tree.root.children[0];
+        assert!(
+            e2.link.contains("<> ALL"),
+            "NOT IN binds as <> ALL: {}",
+            e2.link
+        );
+        assert!(!e2.pseudo, "the root edge uses the plain σ");
+        assert_eq!(e2.correlated, vec!["r.d = s.g"]);
+        let e3 = &e2.node.children[0];
+        assert!(e3.link.contains("> ALL"));
+        assert!(
+            e3.pseudo,
+            "the inner edge needs σ̄ (a negative link remains)"
+        );
+        assert_eq!(e3.correlated.len(), 2);
+    }
+
+    #[test]
+    fn display_renders_the_tree() {
+        let bq = parse_and_bind(QUERY_Q, &catalog()).unwrap();
+        let s = TreeExpr::build(&bq).to_string();
+        assert!(s.contains("T1: r"), "got:\n{s}");
+        assert!(s.contains("T2: s"));
+        assert!(s.contains("T3: t"));
+        assert!(s.contains("(σ̄)"));
+        assert!(s.contains("C: r.d = s.g"));
+    }
+
+    #[test]
+    fn plan_renders_the_pipeline() {
+        let bq = parse_and_bind(QUERY_Q, &catalog()).unwrap();
+        let plan = TreeExpr::build(&bq).render_plan();
+        assert!(
+            plan.contains("σ̄ s.h > ALL {s.e}") || plan.contains("σ̄ s.h > ALL"),
+            "got:\n{plan}"
+        );
+        assert!(plan.contains("⟕ r.d = s.g"));
+        assert!(plan.contains("υ nest by prefix"));
+    }
+
+    #[test]
+    fn uncorrelated_edge_labelled_virtual_product() {
+        let bq =
+            parse_and_bind("select a from r where b in (select e from s)", &catalog()).unwrap();
+        let plan = TreeExpr::build(&bq).render_plan();
+        assert!(plan.contains("virtual Cartesian product"), "got:\n{plan}");
+    }
+
+    #[test]
+    fn exists_link_rendered_as_emptiness() {
+        let bq = parse_and_bind(
+            "select a from r where not exists (select * from s where s.g = r.d)",
+            &catalog(),
+        )
+        .unwrap();
+        let tree = TreeExpr::build(&bq);
+        assert!(tree.root.children[0].link.contains("= ∅"));
+    }
+}

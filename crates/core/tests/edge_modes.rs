@@ -1,0 +1,119 @@
+//! Unit tests for the σ vs σ̄ decision (paper §4.1): a pseudo-selection is
+//! required exactly when a linking predicate still to be computed is
+//! negative — except at the root, whose links are final WHERE conjuncts.
+
+use nra_core::compute::edge_modes;
+use nra_sql::parse_and_bind;
+use nra_storage::{Catalog, Column, ColumnType, Schema, Table};
+
+fn catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    for (name, cols) in [
+        ("r", ["a", "b"].as_slice()),
+        ("s", &["c", "d"]),
+        ("t", &["e", "f"]),
+        ("u", &["g", "h"]),
+    ] {
+        let schema = Schema::new(
+            cols.iter()
+                .map(|c| Column::new(*c, ColumnType::Int))
+                .collect(),
+        );
+        cat.add_table(Table::new(name, schema)).unwrap();
+    }
+    cat
+}
+
+fn modes(sql: &str) -> std::collections::HashMap<usize, bool> {
+    edge_modes(&parse_and_bind(sql, &catalog()).unwrap())
+}
+
+#[test]
+fn root_edges_always_use_sigma() {
+    // Even with a negative link evaluated later at the root.
+    let m = modes(
+        "select a from r where b in (select c from s) \
+         and b not in (select e from t)",
+    );
+    assert!(!m[&2], "first root edge: σ despite the later NOT IN");
+    assert!(!m[&3], "second root edge: σ (last)");
+}
+
+#[test]
+fn negative_above_forces_pseudo_below() {
+    // Query Q shape: NOT IN above ALL — the inner edge needs σ̄.
+    let m = modes(
+        "select a from r where b not in (select c from s where s.d = r.a \
+         and c > all (select e from t where t.f = s.d))",
+    );
+    assert!(m[&3], "inner ALL edge: σ̄ (NOT IN remains)");
+    assert!(!m[&2], "root edge: σ");
+}
+
+#[test]
+fn all_positive_chain_uses_sigma_everywhere() {
+    let m = modes(
+        "select a from r where b in (select c from s where s.d = r.a \
+         and c < some (select e from t where t.f = s.d))",
+    );
+    assert!(!m[&3], "only positive links remain: σ suffices");
+    assert!(!m[&2]);
+}
+
+#[test]
+fn positive_inner_below_negative_outer_is_pseudo() {
+    // Mixed: EXISTS below NOT IN.
+    let m = modes(
+        "select a from r where b not in (select c from s where s.d = r.a \
+         and exists (select * from t where t.f = s.d))",
+    );
+    assert!(m[&3], "the remaining NOT IN is negative: σ̄");
+}
+
+#[test]
+fn deep_chain_modes() {
+    // Three levels: ALL / SOME / ALL. Post-order: edge4 (SOME seen later:
+    // after it come edge3's SOME? no — after edge4 come edge3 and edge2).
+    let m = modes(
+        "select a from r where b > all (select c from s where s.d = r.a \
+           and c < some (select e from t where t.f = s.d \
+             and e <> all (select g from u where u.h = t.f)))",
+    );
+    // edge4 (innermost, ALL): later links are SOME (edge3) and ALL
+    // (edge2): a negative remains -> σ̄. Parent (t) is not the root.
+    assert!(m[&4]);
+    // edge3 (SOME between s and t): later link is edge2's ALL -> σ̄.
+    assert!(m[&3]);
+    // edge2 at the root -> σ.
+    assert!(!m[&2]);
+}
+
+#[test]
+fn aggregate_links_count_as_negative() {
+    let m = modes(
+        "select a from r where b > (select max(c) from s where s.d = r.a \
+         and exists (select * from t where t.f = s.d))",
+    );
+    // The EXISTS edge sits below an aggregate link (which needs its sets
+    // preserved) -> σ̄.
+    assert!(m[&3]);
+}
+
+#[test]
+fn tree_query_sibling_order_matters() {
+    // Non-root subroot: s has two children; the first child's selection
+    // runs while the second child's link (negative) is still unfinished.
+    let m = modes(
+        "select a from r where b in (select c from s where s.d = r.a \
+         and c > some (select e from t where t.f = s.d) \
+         and c <> all (select g from u where u.h = s.d))",
+    );
+    // Post-order: edge3 (SOME, parent s), edge4 (ALL, parent s), edge2
+    // (IN, parent r=root).
+    assert!(m[&3], "σ̄: sibling ALL still unfinished");
+    assert!(
+        !m[&4],
+        "after the last negative link, only the root's IN remains: σ"
+    );
+    assert!(!m[&2]);
+}

@@ -1,0 +1,49 @@
+//! Error type for the execution engine.
+
+use std::fmt;
+
+use nra_sql::SqlError;
+use nra_storage::StorageError;
+
+/// Errors raised while compiling or executing a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A column name could not be resolved against an operator's input
+    /// schema (indicates a planning bug or a malformed bound query).
+    Column(String),
+    /// A feature outside the supported subset was requested.
+    Unsupported(String),
+    Storage(StorageError),
+    Sql(SqlError),
+}
+
+impl EngineError {
+    pub fn unsupported(msg: impl Into<String>) -> EngineError {
+        EngineError::Unsupported(msg.into())
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Column(c) => write!(f, "cannot resolve column `{c}` in operator input"),
+            EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            EngineError::Storage(e) => write!(f, "{e}"),
+            EngineError::Sql(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> EngineError {
+        EngineError::Storage(e)
+    }
+}
+
+impl From<SqlError> for EngineError {
+    fn from(e: SqlError) -> EngineError {
+        EngineError::Sql(e)
+    }
+}

@@ -1,0 +1,26 @@
+//! # nra-engine
+//!
+//! Flat relational execution substrate:
+//!
+//! * [`expr`] — compilation of bound expressions to index-resolved form,
+//!   evaluated under SQL three-valued logic;
+//! * [`ops`] — physical operators (scan, filter, project, sort, Cartesian
+//!   product, and hash inner/left-outer/semi/anti joins with residuals);
+//! * [`planning`] — helpers splitting join conditions into hash keys and
+//!   residual predicates;
+//! * [`baseline`] — "System A"'s native plans from the paper's Section 5
+//!   (bottom-up semijoin/antijoin cascades, and nested iteration with index
+//!   probes);
+//! * [`reference`] — the brute-force tuple-iteration oracle every strategy
+//!   is validated against.
+
+pub mod baseline;
+pub mod error;
+pub mod expr;
+pub mod ops;
+pub mod planning;
+pub mod reference;
+
+pub use error::EngineError;
+pub use expr::{CExpr, CPred};
+pub use ops::{join, JoinKind, JoinSpec};

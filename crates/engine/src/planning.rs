@@ -1,0 +1,196 @@
+//! Shared planning helpers: splitting correlation conditions into hash-join
+//! equality keys and residual predicates.
+
+use nra_sql::{BPred, QueryBlock};
+use nra_storage::{Catalog, CmpOp, Relation, Schema};
+
+use crate::error::EngineError;
+use crate::expr::{CExpr, CPred};
+use crate::ops;
+
+/// The outcome of splitting a conjunction of join conditions between a
+/// `left` and `right` input.
+#[derive(Debug, Clone)]
+pub struct SplitConds {
+    /// Equality pairs `(left column index, right column index)` usable as
+    /// hash keys.
+    pub eq: Vec<(usize, usize)>,
+    /// Everything else, compiled against `left ++ right`.
+    pub residual: Option<CPred>,
+    /// How many conjuncts went into `residual`.
+    pub residual_count: usize,
+}
+
+/// Split `preds` (conjuncts) into hashable equality pairs and a residual.
+///
+/// A conjunct `a = b` becomes a key pair when `a` resolves in exactly one
+/// input and `b` in the other. All other conjuncts (non-equalities, complex
+/// expressions, single-sided predicates) are compiled into the residual,
+/// evaluated per candidate pair.
+pub fn split_join_conds(
+    preds: &[BPred],
+    left: &Schema,
+    right: &Schema,
+) -> Result<SplitConds, EngineError> {
+    let mut eq = Vec::new();
+    let mut rest = Vec::new();
+    for pred in preds {
+        if let Some((a, op, b)) = pred.as_column_cmp() {
+            if op == CmpOp::Eq {
+                let (al, ar) = (left.try_resolve(a), right.try_resolve(a));
+                let (bl, br) = (left.try_resolve(b), right.try_resolve(b));
+                match (al, ar, bl, br) {
+                    (Some(l), None, None, Some(r)) => {
+                        eq.push((l, r));
+                        continue;
+                    }
+                    (None, Some(r), Some(l), None) => {
+                        eq.push((l, r));
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        rest.push(pred.clone());
+    }
+    let combined = left.concat(right);
+    let residual_count = rest.len();
+    let residual = if rest.is_empty() {
+        None
+    } else {
+        Some(CPred::compile_all(&rest, &combined)?)
+    };
+    Ok(SplitConds {
+        eq,
+        residual,
+        residual_count,
+    })
+}
+
+/// Materialize a query block's base: the product of its `FROM` tables with
+/// the block's local predicates (`Δ_i`) applied — the paper's first step,
+/// `T_i = σ_{Δi}(R_i)`.
+pub fn block_base(block: &QueryBlock, catalog: &Catalog) -> Result<Relation, EngineError> {
+    let mut base: Option<Relation> = None;
+    for t in &block.tables {
+        let table = catalog.table(&t.table)?;
+        // Set-oriented plans read each base table once, sequentially.
+        nra_storage::iosim::charge_seq_scan(table.len(), table.schema().len());
+        let scanned = ops::scan(table, &t.exposed);
+        base = Some(match base {
+            None => scanned,
+            Some(acc) => ops::cartesian(&acc, &scanned),
+        });
+    }
+    let mut base = base.expect("binder guarantees at least one table");
+    let local = CPred::compile_all(&block.local_preds, base.schema())?;
+    base = ops::filter(&base, &local);
+    Ok(base)
+}
+
+/// Project a relation onto a block's `SELECT` list (supports computed
+/// expressions), applying `DISTINCT` when requested.
+pub fn project_select(rel: &Relation, root: &QueryBlock) -> Result<Relation, EngineError> {
+    let exprs: Vec<CExpr> = root
+        .select
+        .iter()
+        .map(|(_, e)| CExpr::compile(e, rel.schema()))
+        .collect::<Result<_, _>>()?;
+    let schema = Schema::new(
+        root.select
+            .iter()
+            .zip(&exprs)
+            .map(|((name, _), c)| match c.as_col() {
+                Some(i) => {
+                    let col = rel.schema().column(i);
+                    nra_storage::Column {
+                        name: name.clone(),
+                        ty: col.ty,
+                        nullable: true,
+                    }
+                }
+                None => nra_storage::Column::new(name.clone(), nra_storage::ColumnType::Int),
+            })
+            .collect(),
+    );
+    let mut out = Relation::new(schema);
+    for row in rel.rows() {
+        out.push_unchecked(exprs.iter().map(|e| e.eval(row)).collect());
+    }
+    Ok(if root.distinct { out.distinct() } else { out })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nra_sql::BExpr;
+    use nra_storage::{Column, ColumnType, Truth, Value};
+
+    fn schemas() -> (Schema, Schema) {
+        (
+            Schema::new(vec![
+                Column::new("r.c", ColumnType::Int),
+                Column::new("r.d", ColumnType::Int),
+            ]),
+            Schema::new(vec![
+                Column::new("s.g", ColumnType::Int),
+                Column::new("s.i", ColumnType::Int),
+            ]),
+        )
+    }
+
+    #[test]
+    fn equality_pairs_become_keys() {
+        let (l, r) = schemas();
+        let preds = vec![BPred::cmp(BExpr::col("r.d"), CmpOp::Eq, BExpr::col("s.g"))];
+        let split = split_join_conds(&preds, &l, &r).unwrap();
+        assert_eq!(split.eq, vec![(1, 0)]);
+        assert!(split.residual.is_none());
+    }
+
+    #[test]
+    fn flipped_sides_normalize() {
+        let (l, r) = schemas();
+        let preds = vec![BPred::cmp(BExpr::col("s.g"), CmpOp::Eq, BExpr::col("r.d"))];
+        let split = split_join_conds(&preds, &l, &r).unwrap();
+        assert_eq!(split.eq, vec![(1, 0)]);
+    }
+
+    #[test]
+    fn non_equalities_go_residual() {
+        let (l, r) = schemas();
+        let preds = vec![
+            BPred::cmp(BExpr::col("r.d"), CmpOp::Eq, BExpr::col("s.g")),
+            BPred::cmp(BExpr::col("r.c"), CmpOp::Ne, BExpr::col("s.i")),
+        ];
+        let split = split_join_conds(&preds, &l, &r).unwrap();
+        assert_eq!(split.eq.len(), 1);
+        assert_eq!(split.residual_count, 1);
+        let residual = split.residual.unwrap();
+        let row = vec![Value::Int(1), Value::Int(2), Value::Int(2), Value::Int(1)];
+        assert_eq!(residual.eval(&row), Truth::False, "1 <> 1 is false");
+    }
+
+    #[test]
+    fn same_side_equality_is_residual() {
+        let (l, r) = schemas();
+        let preds = vec![BPred::cmp(BExpr::col("r.c"), CmpOp::Eq, BExpr::col("r.d"))];
+        let split = split_join_conds(&preds, &l, &r).unwrap();
+        assert!(split.eq.is_empty());
+        assert_eq!(split.residual_count, 1);
+    }
+
+    #[test]
+    fn literal_comparison_is_residual() {
+        let (l, r) = schemas();
+        let preds = vec![BPred::cmp(
+            BExpr::col("s.g"),
+            CmpOp::Eq,
+            BExpr::Lit(Value::Int(5)),
+        )];
+        let split = split_join_conds(&preds, &l, &r).unwrap();
+        assert!(split.eq.is_empty());
+        assert_eq!(split.residual_count, 1);
+    }
+}

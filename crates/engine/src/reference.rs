@@ -1,0 +1,361 @@
+//! The reference oracle: direct tuple-iteration SQL semantics.
+//!
+//! This evaluator executes a bound query exactly the way the SQL standard
+//! defines nested queries — for every candidate tuple of an outer block,
+//! the subquery is (conceptually) re-evaluated and the linking predicate
+//! applied under three-valued logic. It uses no indexes and no rewrites, so
+//! it is deliberately simple and slow: its job is to be *obviously correct*
+//! and serve as the ground truth every other strategy (baseline and nested
+//! relational) is tested against.
+
+use nra_sql::{BoundQuery, LinkOp, QueryBlock, SubqueryEdge};
+use nra_storage::{Catalog, Relation, Schema, Truth, Value};
+
+use crate::error::EngineError;
+use crate::expr::{CExpr, CPred};
+use crate::ops;
+
+/// Evaluate `query` against `catalog` by brute-force tuple iteration.
+pub fn evaluate(query: &BoundQuery, catalog: &Catalog) -> Result<Relation, EngineError> {
+    let root = OracleBlock::build(&query.root, catalog, &Schema::empty())?;
+
+    let select_exprs: Vec<CExpr> = query
+        .root
+        .select
+        .iter()
+        .map(|(_, e)| CExpr::compile(e, root.base.schema()))
+        .collect::<Result<_, _>>()?;
+    let out_schema = Schema::new(
+        query
+            .root
+            .select
+            .iter()
+            .map(|(name, expr)| {
+                // Preserve the source column's type when the item is a bare
+                // column; computed expressions get Float-compatible Int.
+                match expr
+                    .as_column()
+                    .and_then(|c| root.base.schema().try_resolve(c))
+                {
+                    Some(idx) => {
+                        let c = root.base.schema().column(idx);
+                        nra_storage::Column {
+                            name: name.clone(),
+                            ty: c.ty,
+                            nullable: true,
+                        }
+                    }
+                    None => nra_storage::Column::new(name.clone(), nra_storage::ColumnType::Int),
+                }
+            })
+            .collect(),
+    );
+
+    let mut out = Relation::new(out_schema);
+    for row in root.base.rows() {
+        if root.links_hold(row)? {
+            out.push_unchecked(select_exprs.iter().map(|e| e.eval(row)).collect());
+        }
+    }
+    if query.root.distinct {
+        out = out.distinct();
+    }
+    Ok(out)
+}
+
+/// A block prepared for oracle evaluation.
+struct OracleBlock {
+    /// Cartesian product of the block's tables, filtered by its local
+    /// predicates (`Δ_i` in the paper).
+    base: Relation,
+    /// Correlated predicates, compiled against `env ++ base`.
+    corr: CPred,
+    edges: Vec<OracleEdge>,
+}
+
+struct OracleEdge {
+    link: LinkOp,
+    /// Compiled against the *environment* (ancestor rows concatenated).
+    outer_expr: Option<CExpr>,
+    /// Compiled against `env ++ child base`.
+    inner_expr: Option<CExpr>,
+    block: OracleBlock,
+}
+
+impl OracleBlock {
+    fn build(
+        block: &QueryBlock,
+        catalog: &Catalog,
+        env: &Schema,
+    ) -> Result<OracleBlock, EngineError> {
+        // Materialize the block's FROM product.
+        let mut base: Option<Relation> = None;
+        for t in &block.tables {
+            let scanned = ops::scan(catalog.table(&t.table)?, &t.exposed);
+            base = Some(match base {
+                None => scanned,
+                Some(acc) => ops::cartesian(&acc, &scanned),
+            });
+        }
+        let mut base = base.expect("binder guarantees at least one table");
+        let local = CPred::compile_all(&block.local_preds, base.schema())?;
+        base = ops::filter(&base, &local);
+
+        let env_and_base = env.concat(base.schema());
+        let corr = CPred::compile_all(&block.correlated_preds, &env_and_base)?;
+
+        let mut edges = Vec::new();
+        for child in &block.children {
+            edges.push(OracleEdge::build(child, catalog, &env_and_base)?);
+        }
+        Ok(OracleBlock { base, corr, edges })
+    }
+
+    /// Do all linking predicates of this block hold for `env_row`
+    /// (ancestor values ++ this block's candidate row)?
+    fn links_hold(&self, env_row: &[Value]) -> Result<bool, EngineError> {
+        for edge in &self.edges {
+            if edge.eval(env_row)? != Truth::True {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+}
+
+impl OracleEdge {
+    fn build(
+        edge: &SubqueryEdge,
+        catalog: &Catalog,
+        env: &Schema,
+    ) -> Result<OracleEdge, EngineError> {
+        let block = OracleBlock::build(&edge.block, catalog, env)?;
+        let outer_expr = edge
+            .outer_expr
+            .as_ref()
+            .map(|e| CExpr::compile(e, env))
+            .transpose()?;
+        let inner_schema = env.concat(block.base.schema());
+        let inner_expr = edge
+            .inner_expr
+            .as_ref()
+            .map(|e| CExpr::compile(e, &inner_schema))
+            .transpose()?;
+        Ok(OracleEdge {
+            link: edge.link,
+            outer_expr,
+            inner_expr,
+            block,
+        })
+    }
+
+    /// Evaluate the linking predicate for one outer environment row, with
+    /// standard-SQL three-valued folding:
+    ///
+    /// * `A θ SOME q`: `OR` over the subquery rows, `FALSE` on empty.
+    /// * `A θ ALL q`: `AND` over the subquery rows, `TRUE` on empty.
+    /// * `[NOT] EXISTS q`: two-valued emptiness.
+    fn eval(&self, env_row: &[Value]) -> Result<Truth, EngineError> {
+        let outer_val = self.outer_expr.as_ref().map(|e| e.eval(env_row));
+
+        let mut acc = match self.link {
+            LinkOp::Exists => Truth::False,
+            LinkOp::NotExists => Truth::True,
+            LinkOp::Some(_) => Truth::False,
+            LinkOp::All(_) | LinkOp::Agg { .. } => Truth::True,
+        };
+        // Aggregate links fold the whole set; no early exit.
+        let mut agg_values: Vec<Value> = Vec::new();
+
+        let mut extended: Vec<Value> =
+            Vec::with_capacity(env_row.len() + self.block.base.schema().len());
+        for inner_row in self.block.base.rows() {
+            extended.clear();
+            extended.extend(env_row.iter().cloned());
+            extended.extend(inner_row.iter().cloned());
+            // The inner row qualifies if the correlated predicates hold and
+            // its own subqueries (if any) accept it.
+            if !self.block.corr.accepts(&extended) {
+                continue;
+            }
+            if !self.block.links_hold(&extended)? {
+                continue;
+            }
+            match self.link {
+                LinkOp::Exists => return Ok(Truth::True),
+                LinkOp::NotExists => return Ok(Truth::False),
+                LinkOp::Some(op) => {
+                    let inner_val = self
+                        .inner_expr
+                        .as_ref()
+                        .expect("quantified link has inner expr")
+                        .eval(&extended);
+                    let outer = outer_val.as_ref().expect("quantified link has outer expr");
+                    acc = acc.or(outer.sql_compare(op, &inner_val));
+                    if acc == Truth::True {
+                        return Ok(Truth::True);
+                    }
+                }
+                LinkOp::All(op) => {
+                    let inner_val = self
+                        .inner_expr
+                        .as_ref()
+                        .expect("quantified link has inner expr")
+                        .eval(&extended);
+                    let outer = outer_val.as_ref().expect("quantified link has outer expr");
+                    acc = acc.and(outer.sql_compare(op, &inner_val));
+                    if acc == Truth::False {
+                        return Ok(Truth::False);
+                    }
+                }
+                LinkOp::Agg { .. } => {
+                    // COUNT(*) has no argument: any placeholder row marker
+                    // works, since `aggregate` only counts rows for it.
+                    agg_values.push(
+                        self.inner_expr
+                            .as_ref()
+                            .map(|e| e.eval(&extended))
+                            .unwrap_or(Value::Null),
+                    );
+                }
+            }
+        }
+        if let LinkOp::Agg { op, func } = self.link {
+            let folded = nra_storage::aggregate(func, agg_values.iter());
+            let outer = outer_val.as_ref().expect("aggregate link has outer expr");
+            return Ok(outer.sql_compare(op, &folded));
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nra_sql::parse_and_bind;
+    use nra_storage::{Column, ColumnType, Schema, Table};
+
+    /// Small catalog: r(a, b) and s(x, y), with NULLs sprinkled in.
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let mut r = Table::new(
+            "r",
+            Schema::new(vec![
+                Column::new("a", ColumnType::Int),
+                Column::new("b", ColumnType::Int),
+            ]),
+        );
+        r.insert_many(vec![
+            vec![Value::Int(1), Value::Int(10)],
+            vec![Value::Int(2), Value::Int(20)],
+            vec![Value::Int(3), Value::Null],
+            vec![Value::Null, Value::Int(40)],
+        ])
+        .unwrap();
+        cat.add_table(r).unwrap();
+
+        let mut s = Table::new(
+            "s",
+            Schema::new(vec![
+                Column::new("x", ColumnType::Int),
+                Column::new("y", ColumnType::Int),
+            ]),
+        );
+        s.insert_many(vec![
+            vec![Value::Int(1), Value::Int(5)],
+            vec![Value::Int(1), Value::Null],
+            vec![Value::Int(2), Value::Int(100)],
+        ])
+        .unwrap();
+        cat.add_table(s).unwrap();
+        cat
+    }
+
+    fn run(sql: &str) -> Relation {
+        let cat = catalog();
+        let bq = parse_and_bind(sql, &cat).unwrap();
+        evaluate(&bq, &cat).unwrap()
+    }
+
+    #[test]
+    fn flat_query() {
+        let out = run("select a from r where b >= 20");
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn exists_correlated() {
+        let out = run("select a from r where exists (select * from s where s.x = r.a)");
+        // a=1 and a=2 have partners; 3 and NULL do not.
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn not_exists_correlated() {
+        let out = run("select a from r where not exists (select * from s where s.x = r.a)");
+        assert_eq!(out.len(), 2, "a=3 and a=NULL kept");
+    }
+
+    #[test]
+    fn gt_all_with_null_in_subquery_result() {
+        // b > ALL (y of s where x = a):
+        //   a=1 -> {5, NULL}: 10>5 true, 10>NULL unknown -> unknown -> drop.
+        //   a=2 -> {100}: 20>100 false -> drop.
+        //   a=3 -> {} -> TRUE (empty ALL) -> keep.
+        //   a=NULL -> {} -> TRUE -> keep.
+        let out = run("select a from r where b > all (select y from s where s.x = r.a)");
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn gt_some_with_null() {
+        // b > SOME {5, NULL} for a=1: 10>5 true -> keep.
+        // a=2: 20>100 false -> drop. a=3, a=NULL: empty -> false -> drop.
+        let out = run("select a from r where b > some (select y from s where s.x = r.a)");
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn not_in_blocked_by_null() {
+        // a NOT IN (select x from s): x = {1, 1, 2}. a=3: 3<>1,3<>1,3<>2
+        // all true -> keep. a=NULL: unknown -> drop. a=1, a=2: false.
+        let out = run("select a from r where a not in (select x from s)");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows()[0][0], Value::Int(3));
+    }
+
+    #[test]
+    fn not_in_with_null_in_subquery_drops_everything() {
+        // a NOT IN (select y from s where x = 1): y = {5, NULL}. Every a
+        // compares unknown against NULL -> nothing qualifies.
+        let out = run("select a from r where a not in (select y from s where s.x = 1)");
+        assert_eq!(out.len(), 0);
+    }
+
+    #[test]
+    fn uncorrelated_in() {
+        let out = run("select a from r where a in (select x from s)");
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn distinct_projection() {
+        let out = run("select distinct x from s where x in (select a from r)");
+        assert_eq!(out.len(), 2, "x=1 deduplicated");
+    }
+
+    #[test]
+    fn two_level_nesting() {
+        // r tuples whose a has an s partner whose y is above all r.b values
+        // with matching a... exercises env propagation through two levels.
+        let out = run(
+            "select a from r where exists (select * from s where s.x = r.a \
+             and s.y > all (select b from r r2 where r2.a = s.x))",
+        );
+        // a=1: s rows {(1,5),(1,NULL)}; inner ALL for x=1: {10}; 5>10 false,
+        // NULL>10 unknown -> neither s row qualifies -> drop.
+        // a=2: s row (2,100); inner: {20}; 100>20 true -> keep.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows()[0][0], Value::Int(2));
+    }
+}

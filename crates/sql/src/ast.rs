@@ -1,0 +1,349 @@
+//! Abstract syntax tree for the SQL subset.
+//!
+//! The subset is exactly what the paper needs: `SELECT`/`FROM`/`WHERE`
+//! blocks whose `WHERE` clauses combine ordinary predicates with the
+//! non-aggregate subquery operators `EXISTS`, `NOT EXISTS`, `IN`, `NOT IN`,
+//! `θ SOME/ANY` and `θ ALL`, nested to any depth.
+
+use std::fmt;
+
+use nra_storage::{AggFunc, CmpOp, Value};
+
+/// Arithmetic operators usable in scalar expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl ArithOp {
+    pub fn symbol(self) -> &'static str {
+        match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+        }
+    }
+}
+
+/// A scalar expression (no subqueries; those live in [`Predicate`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalarExpr {
+    /// Possibly-qualified column reference.
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
+    Literal(Value),
+    Arith {
+        op: ArithOp,
+        left: Box<ScalarExpr>,
+        right: Box<ScalarExpr>,
+    },
+    /// An aggregate call — only legal as the single select item of a
+    /// scalar (aggregate) subquery; `arg` is `None` for `COUNT(*)`.
+    Agg {
+        func: AggFunc,
+        arg: Option<Box<ScalarExpr>>,
+    },
+}
+
+impl ScalarExpr {
+    pub fn col(name: &str) -> ScalarExpr {
+        match name.split_once('.') {
+            Some((q, n)) => ScalarExpr::Column {
+                qualifier: Some(q.to_string()),
+                name: n.to_string(),
+            },
+            None => ScalarExpr::Column {
+                qualifier: None,
+                name: name.to_string(),
+            },
+        }
+    }
+
+    pub fn lit(v: Value) -> ScalarExpr {
+        ScalarExpr::Literal(v)
+    }
+}
+
+impl fmt::Display for ScalarExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalarExpr::Column {
+                qualifier: Some(q),
+                name,
+            } => write!(f, "{q}.{name}"),
+            ScalarExpr::Column {
+                qualifier: None,
+                name,
+            } => write!(f, "{name}"),
+            ScalarExpr::Literal(v) => write!(f, "{v}"),
+            ScalarExpr::Arith { op, left, right } => {
+                write!(f, "({left} {} {right})", op.symbol())
+            }
+            ScalarExpr::Agg { func, arg } => match arg {
+                Some(a) => write!(f, "{}({a})", func.name()),
+                None => write!(f, "count(*)"),
+            },
+        }
+    }
+}
+
+/// Quantifier on a comparison subquery predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quantifier {
+    /// `SOME` / `ANY` — true if the comparison holds for some element.
+    Some,
+    /// `ALL` — true if the comparison holds for every element.
+    All,
+}
+
+/// A predicate (boolean-valued expression).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    Cmp {
+        left: ScalarExpr,
+        op: CmpOp,
+        right: ScalarExpr,
+    },
+    Between {
+        expr: ScalarExpr,
+        low: ScalarExpr,
+        high: ScalarExpr,
+        negated: bool,
+    },
+    IsNull {
+        expr: ScalarExpr,
+        negated: bool,
+    },
+    InList {
+        expr: ScalarExpr,
+        list: Vec<ScalarExpr>,
+        negated: bool,
+    },
+    And(Box<Predicate>, Box<Predicate>),
+    Or(Box<Predicate>, Box<Predicate>),
+    Not(Box<Predicate>),
+    /// `[NOT] EXISTS (subquery)`
+    Exists {
+        query: Box<SelectStmt>,
+        negated: bool,
+    },
+    /// `expr [NOT] IN (subquery)`
+    InSubquery {
+        expr: ScalarExpr,
+        query: Box<SelectStmt>,
+        negated: bool,
+    },
+    /// `expr θ SOME/ANY/ALL (subquery)`
+    Quantified {
+        expr: ScalarExpr,
+        op: CmpOp,
+        quantifier: Quantifier,
+        query: Box<SelectStmt>,
+    },
+    /// `expr θ (subquery)` — a scalar (aggregate) subquery comparison.
+    CmpSubquery {
+        expr: ScalarExpr,
+        op: CmpOp,
+        query: Box<SelectStmt>,
+    },
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::Cmp { left, op, right } => write!(f, "{left} {op} {right}"),
+            Predicate::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => write!(
+                f,
+                "{expr} {}between {low} and {high}",
+                if *negated { "not " } else { "" }
+            ),
+            Predicate::IsNull { expr, negated } => {
+                write!(f, "{expr} is {}null", if *negated { "not " } else { "" })
+            }
+            Predicate::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                write!(f, "{expr} {}in (", if *negated { "not " } else { "" })?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            Predicate::And(a, b) => write!(f, "({a} and {b})"),
+            Predicate::Or(a, b) => write!(f, "({a} or {b})"),
+            Predicate::Not(p) => write!(f, "not ({p})"),
+            Predicate::Exists { query, negated } => {
+                write!(f, "{}exists ({query})", if *negated { "not " } else { "" })
+            }
+            Predicate::InSubquery {
+                expr,
+                query,
+                negated,
+            } => {
+                write!(
+                    f,
+                    "{expr} {}in ({query})",
+                    if *negated { "not " } else { "" }
+                )
+            }
+            Predicate::Quantified {
+                expr,
+                op,
+                quantifier,
+                query,
+            } => {
+                let q = match quantifier {
+                    Quantifier::Some => "some",
+                    Quantifier::All => "all",
+                };
+                write!(f, "{expr} {op} {q} ({query})")
+            }
+            Predicate::CmpSubquery { expr, op, query } => {
+                write!(f, "{expr} {op} ({query})")
+            }
+        }
+    }
+}
+
+/// A set operation combining two `SELECT` blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOpKind {
+    Union,
+    Intersect,
+    Except,
+}
+
+impl SetOpKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            SetOpKind::Union => "union",
+            SetOpKind::Intersect => "intersect",
+            SetOpKind::Except => "except",
+        }
+    }
+}
+
+/// One `UNION/INTERSECT/EXCEPT [ALL] <select>` arm of a compound query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompoundPart {
+    pub op: SetOpKind,
+    pub all: bool,
+    pub stmt: SelectStmt,
+}
+
+/// A full query: one or more `SELECT` blocks combined by set operations,
+/// with optional `ORDER BY` and `LIMIT` applied to the combined result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub first: SelectStmt,
+    pub compounds: Vec<CompoundPart>,
+    /// `(expression, descending)` sort keys.
+    pub order_by: Vec<(ScalarExpr, bool)>,
+    pub limit: Option<usize>,
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.first)?;
+        for part in &self.compounds {
+            write!(
+                f,
+                " {}{} {}",
+                part.op.name(),
+                if part.all { " all" } else { "" },
+                part.stmt
+            )?;
+        }
+        for (i, (e, desc)) in self.order_by.iter().enumerate() {
+            write!(
+                f,
+                "{} {e}{}",
+                if i == 0 { " order by" } else { "," },
+                if *desc { " desc" } else { "" }
+            )?;
+        }
+        if let Some(n) = self.limit {
+            write!(f, " limit {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One item in a `SELECT` list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `SELECT *`
+    Wildcard,
+    Expr(ScalarExpr),
+}
+
+/// A `FROM`-clause table reference with optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    pub table: String,
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name this table is referenced by in the query.
+    pub fn exposed(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+/// A `SELECT ... FROM ... WHERE ...` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    pub distinct: bool,
+    pub select: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub where_clause: Option<Predicate>,
+}
+
+impl fmt::Display for SelectStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "select ")?;
+        if self.distinct {
+            write!(f, "distinct ")?;
+        }
+        for (i, item) in self.select.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match item {
+                SelectItem::Wildcard => write!(f, "*")?,
+                SelectItem::Expr(e) => write!(f, "{e}")?,
+            }
+        }
+        write!(f, " from ")?;
+        for (i, t) in self.from.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", t.table)?;
+            if let Some(a) = &t.alias {
+                write!(f, " as {a}")?;
+            }
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " where {w}")?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,269 @@
+//! Bound (name-resolved) scalar expressions and predicates.
+//!
+//! After binding, every column reference is a fully qualified name
+//! (`exposed_qualifier.column`) that is unique across the entire query, so
+//! expressions can be evaluated against any intermediate relation whose
+//! schema carries those names. Subquery predicates never appear here — the
+//! binder lifts them into [`crate::block::SubqueryEdge`]s.
+
+use nra_storage::{CmpOp, Truth, Value};
+
+use crate::ast::ArithOp;
+
+/// A bound scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BExpr {
+    /// Fully qualified column name.
+    Col(String),
+    Lit(Value),
+    Arith {
+        op: ArithOp,
+        left: Box<BExpr>,
+        right: Box<BExpr>,
+    },
+}
+
+impl BExpr {
+    pub fn col(name: impl Into<String>) -> BExpr {
+        BExpr::Col(name.into())
+    }
+
+    /// Collect every referenced column name into `out`.
+    pub fn collect_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            BExpr::Col(c) => out.push(c),
+            BExpr::Lit(_) => {}
+            BExpr::Arith { left, right, .. } => {
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+        }
+    }
+
+    pub fn columns(&self) -> Vec<&str> {
+        let mut v = Vec::new();
+        self.collect_columns(&mut v);
+        v
+    }
+
+    /// If this expression is a bare column, its name.
+    pub fn as_column(&self) -> Option<&str> {
+        match self {
+            BExpr::Col(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Evaluate arithmetic over SQL values: any NULL operand produces NULL.
+    pub fn eval_arith(op: ArithOp, l: &Value, r: &Value) -> Value {
+        use Value::*;
+        fn to_f(v: &Value) -> Option<f64> {
+            match v {
+                Int(i) => Some(*i as f64),
+                Decimal(d) => Some(*d as f64 / 100.0),
+                Float(f) => Some(*f),
+                _ => None,
+            }
+        }
+        match (l, r) {
+            (Null, _) | (_, Null) => Null,
+            (Int(a), Int(b)) => match op {
+                ArithOp::Add => Int(a + b),
+                ArithOp::Sub => Int(a - b),
+                ArithOp::Mul => Int(a * b),
+                ArithOp::Div => {
+                    if *b == 0 {
+                        Null
+                    } else {
+                        Int(a / b)
+                    }
+                }
+            },
+            (Decimal(a), Decimal(b)) => match op {
+                ArithOp::Add => Decimal(a + b),
+                ArithOp::Sub => Decimal(a - b),
+                ArithOp::Mul => Decimal(a * b / 100),
+                ArithOp::Div => {
+                    if *b == 0 {
+                        Null
+                    } else {
+                        Decimal(a * 100 / b)
+                    }
+                }
+            },
+            _ => match (to_f(l), to_f(r)) {
+                (Some(a), Some(b)) => match op {
+                    ArithOp::Add => Float(a + b),
+                    ArithOp::Sub => Float(a - b),
+                    ArithOp::Mul => Float(a * b),
+                    ArithOp::Div => {
+                        if b == 0.0 {
+                            Null
+                        } else {
+                            Float(a / b)
+                        }
+                    }
+                },
+                _ => Null,
+            },
+        }
+    }
+}
+
+/// A bound predicate (no subqueries).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BPred {
+    Cmp {
+        left: BExpr,
+        op: CmpOp,
+        right: BExpr,
+    },
+    Between {
+        expr: BExpr,
+        low: BExpr,
+        high: BExpr,
+        negated: bool,
+    },
+    IsNull {
+        expr: BExpr,
+        negated: bool,
+    },
+    InList {
+        expr: BExpr,
+        list: Vec<BExpr>,
+        negated: bool,
+    },
+    And(Box<BPred>, Box<BPred>),
+    Or(Box<BPred>, Box<BPred>),
+    Not(Box<BPred>),
+    /// Constant truth value (used by rewrites).
+    Const(Truth),
+}
+
+impl BPred {
+    pub fn cmp(left: BExpr, op: CmpOp, right: BExpr) -> BPred {
+        BPred::Cmp { left, op, right }
+    }
+
+    /// Conjunction of a list of predicates (`TRUE` when empty).
+    pub fn conjoin(mut preds: Vec<BPred>) -> BPred {
+        match preds.len() {
+            0 => BPred::Const(Truth::True),
+            1 => preds.pop().unwrap(),
+            _ => {
+                let mut it = preds.into_iter();
+                let first = it.next().unwrap();
+                it.fold(first, |acc, p| BPred::And(Box::new(acc), Box::new(p)))
+            }
+        }
+    }
+
+    pub fn collect_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            BPred::Cmp { left, right, .. } => {
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+            BPred::Between {
+                expr, low, high, ..
+            } => {
+                expr.collect_columns(out);
+                low.collect_columns(out);
+                high.collect_columns(out);
+            }
+            BPred::IsNull { expr, .. } => expr.collect_columns(out),
+            BPred::InList { expr, list, .. } => {
+                expr.collect_columns(out);
+                for e in list {
+                    e.collect_columns(out);
+                }
+            }
+            BPred::And(a, b) | BPred::Or(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            BPred::Not(p) => p.collect_columns(out),
+            BPred::Const(_) => {}
+        }
+    }
+
+    pub fn columns(&self) -> Vec<&str> {
+        let mut v = Vec::new();
+        self.collect_columns(&mut v);
+        v
+    }
+
+    /// If this predicate is `col θ col`, return the pair and operator.
+    pub fn as_column_cmp(&self) -> Option<(&str, CmpOp, &str)> {
+        match self {
+            BPred::Cmp {
+                left: BExpr::Col(l),
+                op,
+                right: BExpr::Col(r),
+            } => Some((l.as_str(), *op, r.as_str())),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_columns_walks_everything() {
+        let p = BPred::And(
+            Box::new(BPred::cmp(
+                BExpr::col("r.a"),
+                CmpOp::Gt,
+                BExpr::Lit(Value::Int(1)),
+            )),
+            Box::new(BPred::Between {
+                expr: BExpr::col("r.b"),
+                low: BExpr::col("s.c"),
+                high: BExpr::Lit(Value::Int(9)),
+                negated: false,
+            }),
+        );
+        assert_eq!(p.columns(), vec!["r.a", "r.b", "s.c"]);
+    }
+
+    #[test]
+    fn as_column_cmp_matches_simple_comparisons() {
+        let p = BPred::cmp(BExpr::col("r.d"), CmpOp::Eq, BExpr::col("s.g"));
+        assert_eq!(p.as_column_cmp(), Some(("r.d", CmpOp::Eq, "s.g")));
+        let q = BPred::cmp(BExpr::col("r.d"), CmpOp::Eq, BExpr::Lit(Value::Int(1)));
+        assert_eq!(q.as_column_cmp(), None);
+    }
+
+    #[test]
+    fn arith_null_propagates() {
+        assert_eq!(
+            BExpr::eval_arith(ArithOp::Add, &Value::Null, &Value::Int(2)),
+            Value::Null
+        );
+        assert_eq!(
+            BExpr::eval_arith(ArithOp::Add, &Value::Int(2), &Value::Int(3)),
+            Value::Int(5)
+        );
+        assert_eq!(
+            BExpr::eval_arith(ArithOp::Mul, &Value::Decimal(250), &Value::Decimal(200)),
+            Value::Decimal(500)
+        );
+        assert_eq!(
+            BExpr::eval_arith(ArithOp::Div, &Value::Int(5), &Value::Int(0)),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn conjoin_shapes() {
+        assert_eq!(BPred::conjoin(vec![]), BPred::Const(Truth::True));
+        let single = BPred::cmp(BExpr::col("a"), CmpOp::Eq, BExpr::col("b"));
+        assert_eq!(BPred::conjoin(vec![single.clone()]), single.clone());
+        assert!(matches!(
+            BPred::conjoin(vec![single.clone(), single]),
+            BPred::And(_, _)
+        ));
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type for the SQL front end.
+
+use std::fmt;
+
+use nra_storage::StorageError;
+
+/// Errors from lexing, parsing or binding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Lexical error at a byte offset.
+    Lex { offset: usize, message: String },
+    /// Parse error at a byte offset.
+    Parse { offset: usize, message: String },
+    /// Semantic (binding) error.
+    Bind(String),
+    /// Underlying catalog/schema error.
+    Storage(StorageError),
+}
+
+impl SqlError {
+    pub fn lex(offset: usize, message: impl Into<String>) -> SqlError {
+        SqlError::Lex {
+            offset,
+            message: message.into(),
+        }
+    }
+
+    pub fn parse(offset: usize, message: impl Into<String>) -> SqlError {
+        SqlError::Parse {
+            offset,
+            message: message.into(),
+        }
+    }
+
+    pub fn bind(message: impl Into<String>) -> SqlError {
+        SqlError::Bind(message.into())
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { offset, message } => write!(f, "lex error at byte {offset}: {message}"),
+            SqlError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            SqlError::Bind(m) => write!(f, "bind error: {m}"),
+            SqlError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<StorageError> for SqlError {
+    fn from(e: StorageError) -> SqlError {
+        SqlError::Storage(e)
+    }
+}

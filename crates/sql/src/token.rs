@@ -1,0 +1,135 @@
+//! Token definitions for the SQL subset.
+
+use std::fmt;
+
+/// Keywords recognized by the lexer (case-insensitive in the input).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    Select,
+    Distinct,
+    From,
+    Where,
+    And,
+    Or,
+    Not,
+    In,
+    Exists,
+    Any,
+    Some,
+    All,
+    Between,
+    Is,
+    Null,
+    As,
+    Date,
+    True,
+    False,
+    Union,
+    Intersect,
+    Except,
+    Order,
+    By,
+    Asc,
+    Desc,
+    Limit,
+}
+
+impl Keyword {
+    pub fn parse(word: &str) -> Option<Keyword> {
+        let lower = word.to_ascii_lowercase();
+        Some(match lower.as_str() {
+            "select" => Keyword::Select,
+            "distinct" => Keyword::Distinct,
+            "from" => Keyword::From,
+            "where" => Keyword::Where,
+            "and" => Keyword::And,
+            "or" => Keyword::Or,
+            "not" => Keyword::Not,
+            "in" => Keyword::In,
+            "exists" => Keyword::Exists,
+            "any" => Keyword::Any,
+            "some" => Keyword::Some,
+            "all" => Keyword::All,
+            "between" => Keyword::Between,
+            "is" => Keyword::Is,
+            "null" => Keyword::Null,
+            "as" => Keyword::As,
+            "date" => Keyword::Date,
+            "true" => Keyword::True,
+            "false" => Keyword::False,
+            "union" => Keyword::Union,
+            "intersect" => Keyword::Intersect,
+            "except" => Keyword::Except,
+            "order" => Keyword::Order,
+            "by" => Keyword::By,
+            "asc" => Keyword::Asc,
+            "desc" => Keyword::Desc,
+            "limit" => Keyword::Limit,
+            _ => return None,
+        })
+    }
+}
+
+/// A lexical token with its byte offset in the input (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub offset: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    Keyword(Keyword),
+    /// Unquoted identifier, lowercased.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Decimal literal scaled by 100 (`12.5` lexes as `1250`).
+    Decimal(i64),
+    /// Single-quoted string literal.
+    Str(String),
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Plus,
+    Minus,
+    StarOp,
+    Slash,
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Semicolon,
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "{k:?}"),
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Int(i) => write!(f, "integer {i}"),
+            TokenKind::Decimal(d) => write!(f, "decimal {}.{:02}", d / 100, (d % 100).abs()),
+            TokenKind::Str(s) => write!(f, "string '{s}'"),
+            TokenKind::Eq => write!(f, "`=`"),
+            TokenKind::NotEq => write!(f, "`<>`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::LtEq => write!(f, "`<=`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::GtEq => write!(f, "`>=`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::StarOp => write!(f, "`*`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Dot => write!(f, "`.`"),
+            TokenKind::Semicolon => write!(f, "`;`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}

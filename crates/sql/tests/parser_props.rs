@@ -1,0 +1,61 @@
+//! Property tests for the SQL front end: the parser must never panic, and
+//! parse → display → parse must be a fixpoint.
+
+use proptest::prelude::*;
+
+use nra_sql::parse;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    /// Arbitrary byte soup: the parser returns Ok or Err, never panics.
+    #[test]
+    fn parser_never_panics_on_garbage(input in ".*") {
+        let _ = parse(&input);
+    }
+
+    /// SQL-ish token soup: higher hit rate on deep parser paths.
+    #[test]
+    fn parser_never_panics_on_sqlish(tokens in proptest::collection::vec(
+        proptest::sample::select(vec![
+            "select", "from", "where", "and", "or", "not", "in", "exists",
+            "all", "any", "some", "between", "is", "null", "count", "max",
+            "(", ")", ",", ".", "*", "=", "<>", "<", ">", "<=", ">=",
+            "a", "b", "t", "u", "1", "2.5", "'s'",
+        ]),
+        0..24,
+    )) {
+        let input = tokens.join(" ");
+        let _ = parse(&input);
+    }
+}
+
+/// Display output reparses to the same AST (idempotence on a corpus of
+/// valid queries covering the whole grammar).
+#[test]
+fn display_roundtrip_corpus() {
+    let corpus = [
+        "select a from t",
+        "select distinct a, b from t, u where t.x = u.y",
+        "select * from t where a between 1 and 2 or b is not null",
+        "select a from t where not (a = 1 and b in (1, 2, 3))",
+        "select a from t where exists (select * from u where u.x = t.a)",
+        "select a from t where a not in (select b from u)",
+        "select a from t where a > all (select b from u where exists \
+         (select * from v where v.k = u.b))",
+        "select a from t where a + b * 2 - 1 > 0",
+        "select a from t where a > (select max(b) from u where u.x = t.a)",
+        "select a from t where 0 = (select count(*) from u)",
+        "select a from t where a < (select avg(b) from u) and b >= \
+         (select sum(c) from v)",
+        "select a from t where d = date '1995-06-17'",
+        "select a from t where s = 'it''s'",
+    ];
+    for input in corpus {
+        let once = parse(input).unwrap_or_else(|e| panic!("corpus entry failed: {input}: {e}"));
+        let rendered = once.to_string();
+        let twice =
+            parse(&rendered).unwrap_or_else(|e| panic!("rendered form failed: {rendered}: {e}"));
+        assert_eq!(once, twice, "display not a fixpoint for {input}");
+    }
+}

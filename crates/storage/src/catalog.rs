@@ -1,0 +1,253 @@
+//! Catalog of base tables.
+//!
+//! A [`Table`] owns its data, primary-key declaration and any secondary
+//! indexes. The catalog is what the SQL binder resolves `FROM` items
+//! against, and what the baseline executor probes indexes on.
+
+use std::collections::HashMap;
+
+use crate::error::StorageError;
+use crate::index::{HashIndex, OrderedIndex};
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+
+/// A named base table with optional primary key and secondary indexes.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    data: Relation,
+    /// Column indices of the declared primary key (empty if none).
+    primary_key: Vec<usize>,
+    hash_indexes: Vec<HashIndex>,
+    ordered_indexes: Vec<OrderedIndex>,
+}
+
+impl Table {
+    pub fn new(name: impl Into<String>, schema: Schema) -> Table {
+        Table {
+            name: name.into(),
+            data: Relation::new(schema),
+            primary_key: vec![],
+            hash_indexes: vec![],
+            ordered_indexes: vec![],
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn schema(&self) -> &Schema {
+        self.data.schema()
+    }
+
+    pub fn data(&self) -> &Relation {
+        &self.data
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Declare the primary key by column names. The paper assumes "each
+    /// relation has a unique non-null attribute served as a primary key";
+    /// the nested relational operators use it (or a synthesized row id) as
+    /// the emptiness marker after outer joins.
+    pub fn set_primary_key(&mut self, cols: &[&str]) -> Result<(), StorageError> {
+        let mut pk = Vec::with_capacity(cols.len());
+        for c in cols {
+            pk.push(self.data.schema().resolve(c)?);
+        }
+        self.primary_key = pk;
+        Ok(())
+    }
+
+    pub fn primary_key(&self) -> &[usize] {
+        &self.primary_key
+    }
+
+    /// Insert a validated row. Invalidates indexes (they are rebuilt on the
+    /// next `ensure_*_index` call); bulk loading should insert everything
+    /// first and index afterwards.
+    pub fn insert(&mut self, row: Tuple) -> Result<(), StorageError> {
+        self.data.push(row)?;
+        self.hash_indexes.clear();
+        self.ordered_indexes.clear();
+        Ok(())
+    }
+
+    pub fn insert_many<I: IntoIterator<Item = Tuple>>(
+        &mut self,
+        rows: I,
+    ) -> Result<(), StorageError> {
+        for row in rows {
+            self.data.push(row)?;
+        }
+        self.hash_indexes.clear();
+        self.ordered_indexes.clear();
+        Ok(())
+    }
+
+    /// Get (building if absent) a hash index on the named columns.
+    pub fn ensure_hash_index(&mut self, cols: &[&str]) -> Result<&HashIndex, StorageError> {
+        let key: Vec<usize> = cols
+            .iter()
+            .map(|c| self.data.schema().resolve(c))
+            .collect::<Result<_, _>>()?;
+        if let Some(pos) = self
+            .hash_indexes
+            .iter()
+            .position(|ix| ix.key_cols() == key.as_slice())
+        {
+            return Ok(&self.hash_indexes[pos]);
+        }
+        self.hash_indexes
+            .push(HashIndex::build(self.data.rows(), &key));
+        Ok(self.hash_indexes.last().unwrap())
+    }
+
+    /// Get an existing hash index on the given key columns, if any.
+    pub fn hash_index(&self, key: &[usize]) -> Option<&HashIndex> {
+        self.hash_indexes.iter().find(|ix| ix.key_cols() == key)
+    }
+
+    /// Get (building if absent) an ordered index on the named columns.
+    pub fn ensure_ordered_index(&mut self, cols: &[&str]) -> Result<&OrderedIndex, StorageError> {
+        let key: Vec<usize> = cols
+            .iter()
+            .map(|c| self.data.schema().resolve(c))
+            .collect::<Result<_, _>>()?;
+        if let Some(pos) = self
+            .ordered_indexes
+            .iter()
+            .position(|ix| ix.key_cols() == key.as_slice())
+        {
+            return Ok(&self.ordered_indexes[pos]);
+        }
+        self.ordered_indexes
+            .push(OrderedIndex::build(self.data.rows(), &key));
+        Ok(self.ordered_indexes.last().unwrap())
+    }
+
+    pub fn ordered_index(&self, key: &[usize]) -> Option<&OrderedIndex> {
+        self.ordered_indexes.iter().find(|ix| ix.key_cols() == key)
+    }
+}
+
+/// The collection of base tables a query runs against.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: HashMap<String, Table>,
+}
+
+impl Catalog {
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    pub fn add_table(&mut self, table: Table) -> Result<(), StorageError> {
+        if self.tables.contains_key(table.name()) {
+            return Err(StorageError::DuplicateTable(table.name().to_string()));
+        }
+        self.tables.insert(table.name().to_string(), table);
+        Ok(())
+    }
+
+    pub fn table(&self, name: &str) -> Result<&Table, StorageError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, StorageError> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tables.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, ColumnType};
+    use crate::tuple::GroupKey;
+    use crate::value::Value;
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Column::not_null("id", ColumnType::Int),
+            Column::new("v", ColumnType::Int),
+        ]);
+        let mut t = Table::new("t", schema);
+        t.set_primary_key(&["id"]).unwrap();
+        t.insert_many(vec![
+            vec![Value::Int(1), Value::Int(10)],
+            vec![Value::Int(2), Value::Null],
+        ])
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn primary_key_resolution() {
+        let t = table();
+        assert_eq!(t.primary_key(), &[0]);
+    }
+
+    #[test]
+    fn ensure_hash_index_is_idempotent_and_probeable() {
+        let mut t = table();
+        t.ensure_hash_index(&["v"]).unwrap();
+        let ix = t.ensure_hash_index(&["v"]).unwrap();
+        assert_eq!(ix.probe(&GroupKey(vec![Value::Int(10)])), &[0]);
+        assert_eq!(t.hash_index(&[1]).unwrap().distinct_keys(), 2);
+    }
+
+    #[test]
+    fn insert_invalidates_indexes() {
+        let mut t = table();
+        t.ensure_hash_index(&["id"]).unwrap();
+        t.insert(vec![Value::Int(3), Value::Int(30)]).unwrap();
+        assert!(t.hash_index(&[0]).is_none(), "index dropped after insert");
+        let ix = t.ensure_hash_index(&["id"]).unwrap();
+        assert_eq!(ix.probe(&GroupKey(vec![Value::Int(3)])), &[2]);
+    }
+
+    #[test]
+    fn catalog_add_lookup_duplicate() {
+        let mut c = Catalog::new();
+        c.add_table(table()).unwrap();
+        assert!(c.table("t").is_ok());
+        assert!(matches!(
+            c.add_table(table()),
+            Err(StorageError::DuplicateTable(_))
+        ));
+        assert!(matches!(
+            c.table("missing"),
+            Err(StorageError::UnknownTable(_))
+        ));
+        assert_eq!(c.table_names(), vec!["t"]);
+    }
+
+    #[test]
+    fn ordered_index_roundtrip() {
+        let mut t = table();
+        let ix = t.ensure_ordered_index(&["id"]).unwrap();
+        assert_eq!(ix.range(&[Value::Int(1)], &[Value::Int(3)]).len(), 2);
+    }
+}

@@ -1,0 +1,54 @@
+//! Error type for the storage substrate.
+
+use std::fmt;
+
+/// Errors raised by schema resolution, catalog operations and data loading.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    UnknownColumn(String),
+    AmbiguousColumn(String),
+    UnknownTable(String),
+    DuplicateTable(String),
+    ArityMismatch {
+        expected: usize,
+        got: usize,
+    },
+    TypeMismatch {
+        column: String,
+        value: String,
+    },
+    NullViolation {
+        column: String,
+    },
+    /// I/O or format error while importing/exporting data.
+    Io(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            StorageError::AmbiguousColumn(c) => write!(f, "ambiguous column name: {c}"),
+            StorageError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            StorageError::DuplicateTable(t) => write!(f, "table already exists: {t}"),
+            StorageError::ArityMismatch { expected, got } => {
+                write!(
+                    f,
+                    "tuple arity mismatch: expected {expected} values, got {got}"
+                )
+            }
+            StorageError::TypeMismatch { column, value } => {
+                write!(
+                    f,
+                    "value {value} does not match the type of column {column}"
+                )
+            }
+            StorageError::NullViolation { column } => {
+                write!(f, "NULL value in NOT NULL column {column}")
+            }
+            StorageError::Io(m) => write!(f, "I/O error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}

@@ -1,0 +1,126 @@
+//! Property tests for the storage substrate: 3VL algebra laws, relation
+//! invariants, and the I/O simulator's LRU against a naive reference
+//! model.
+
+use proptest::prelude::*;
+
+use nra_storage::iosim::{self, IoConfig};
+use nra_storage::{Column, ColumnType, Relation, Schema, Truth, Value};
+
+fn truth() -> impl proptest::strategy::Strategy<Value = Truth> {
+    proptest::sample::select(vec![Truth::True, Truth::False, Truth::Unknown])
+}
+
+fn cell() -> impl proptest::strategy::Strategy<Value = Value> {
+    prop_oneof![
+        5 => (0i64..6).prop_map(Value::Int),
+        1 => Just(Value::Null),
+    ]
+}
+
+fn relation() -> impl proptest::strategy::Strategy<Value = Relation> {
+    proptest::collection::vec((cell(), cell()), 0..16).prop_map(|rows| {
+        Relation::with_rows(
+            Schema::new(vec![
+                Column::new("t.a", ColumnType::Int),
+                Column::new("t.b", ColumnType::Int),
+            ]),
+            rows.into_iter().map(|(a, b)| vec![a, b]).collect(),
+        )
+    })
+}
+
+proptest! {
+    /// Kleene 3VL: De Morgan duality and involution.
+    #[test]
+    fn three_valued_de_morgan(a in truth(), b in truth()) {
+        prop_assert_eq!(a.and(b).not(), a.not().or(b.not()));
+        prop_assert_eq!(a.or(b).not(), a.not().and(b.not()));
+        prop_assert_eq!(a.not().not(), a);
+    }
+
+    /// 3VL conjunction/disjunction: commutative, associative, monotone
+    /// identities.
+    #[test]
+    fn three_valued_lattice(a in truth(), b in truth(), c in truth()) {
+        prop_assert_eq!(a.and(b), b.and(a));
+        prop_assert_eq!(a.or(b), b.or(a));
+        prop_assert_eq!(a.and(b).and(c), a.and(b.and(c)));
+        prop_assert_eq!(a.or(b).or(c), a.or(b.or(c)));
+        prop_assert_eq!(a.and(Truth::True), a);
+        prop_assert_eq!(a.or(Truth::False), a);
+    }
+
+    /// multiset_eq is reflexive, symmetric, and order-insensitive.
+    #[test]
+    fn multiset_eq_properties(rel in relation(), seed in 0u64..1000) {
+        prop_assert!(rel.multiset_eq(&rel));
+        // Shuffle deterministically by sorting on a "random" key.
+        let mut rows = rel.rows().to_vec();
+        rows.sort_by_key(|r| {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            seed.hash(&mut h);
+            format!("{r:?}").hash(&mut h);
+            h.finish()
+        });
+        let shuffled = Relation::with_rows(rel.schema().clone(), rows);
+        prop_assert!(rel.multiset_eq(&shuffled));
+        prop_assert!(shuffled.multiset_eq(&rel));
+    }
+
+    /// distinct is idempotent and never grows.
+    #[test]
+    fn distinct_idempotent(rel in relation()) {
+        let d = rel.distinct();
+        prop_assert!(d.len() <= rel.len());
+        prop_assert!(d.distinct().multiset_eq(&d));
+    }
+
+    /// Sorting preserves the multiset and orders NULLs first.
+    #[test]
+    fn sort_preserves_rows(rel in relation()) {
+        let mut sorted = rel.clone();
+        sorted.sort_by_columns(&[0, 1]);
+        prop_assert!(sorted.multiset_eq(&rel));
+        let first_non_null = sorted.rows().iter().position(|r| !r[0].is_null());
+        if let Some(p) = first_non_null {
+            prop_assert!(sorted.rows()[..p].iter().all(|r| r[0].is_null()));
+        }
+    }
+
+    /// The iosim LRU agrees with a naive reference model (Vec ordered by
+    /// recency) on hit/miss decisions.
+    #[test]
+    fn lru_matches_reference_model(
+        capacity in 1usize..6,
+        accesses in proptest::collection::vec((0u8..2, 0usize..2000), 1..80),
+    ) {
+        iosim::enable(IoConfig { cache_pages: capacity, ..IoConfig::default() });
+        // Reference: most-recent at the front. Keys mirror the simulator's
+        // (table, page) pairs; rows_per_page at 4 columns is 128.
+        let mut model: Vec<(u8, usize)> = Vec::new();
+        let mut expect_hits = 0u64;
+        let mut expect_misses = 0u64;
+        for &(t, row) in &accesses {
+            let table = if t == 0 { "a" } else { "b" };
+            nra_storage::iosim::charge_random_row(table, 4, row);
+            let page = row / 128;
+            match model.iter().position(|&e| e == (t, page)) {
+                Some(i) => {
+                    expect_hits += 1;
+                    let e = model.remove(i);
+                    model.insert(0, e);
+                }
+                None => {
+                    expect_misses += 1;
+                    model.insert(0, (t, page));
+                    model.truncate(capacity);
+                }
+            }
+        }
+        let stats = iosim::disable().unwrap();
+        prop_assert_eq!(stats.rand_hits, expect_hits);
+        prop_assert_eq!(stats.rand_misses, expect_misses);
+    }
+}

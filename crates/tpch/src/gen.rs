@@ -1,0 +1,384 @@
+//! Seeded, size-parameterised TPC-H-shaped data generation.
+//!
+//! The paper runs TPC-H at scale factor 1 on disk; what its experiments
+//! actually sweep is the *cardinality of each query block* (tuples passing
+//! the block's local predicates). This generator therefore exposes row
+//! counts and selectivity knobs directly, so the benchmark harness can
+//! reproduce the paper's block sizes (outer 4K–48K, inner 7K/16K/12K) at
+//! laptop-friendly absolute scale. Distributions:
+//!
+//! * `p_size` uniform in `1..=50` — the paper's `p_size >= X1 AND p_size <=
+//!   X2` knob selects multiples of 2% of `part`;
+//! * `ps_availqty` uniform in `1..=10_000` — `ps_availqty < Y`;
+//! * `l_quantity` uniform in `1..=quantity_levels` — `l_quantity = Z`
+//!   selects `1/quantity_levels` of `lineitem`;
+//! * `o_orderdate` uniform over 1992–1998 — the `o_orderdate` range knob;
+//! * the Query 1 inner predicate (`l_commitdate < l_receiptdate AND
+//!   l_shipdate < l_commitdate`) holds for exactly a configurable fraction
+//!   of `lineitem`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use nra_storage::{Catalog, Value};
+
+use crate::tables;
+use crate::text;
+
+/// First day of the order-date range (1992-01-01).
+pub const DATE_LO: i32 = 8035;
+/// One past the last day (1998-08-02, as in TPC-H).
+pub const DATE_HI: i32 = 10440;
+
+/// Generation parameters.
+#[derive(Debug, Clone)]
+pub struct TpchConfig {
+    pub seed: u64,
+    pub orders: usize,
+    pub lineitem: usize,
+    pub part: usize,
+    pub suppliers: usize,
+    pub partsupp_per_part: usize,
+    pub customers: usize,
+    /// `l_quantity` is uniform in `1..=quantity_levels`.
+    pub quantity_levels: i64,
+    /// Fraction of `lineitem` rows satisfying Query 1's inner predicate.
+    pub q1_inner_fraction: f64,
+    /// Declare `NOT NULL` on the money columns used as linking/linked
+    /// attributes (`o_totalprice`, `l_extendedprice`, `p_retailprice`,
+    /// `ps_supplycost`).
+    pub not_null_link_columns: bool,
+    /// Fraction of NULLs injected into those columns when they are
+    /// nullable (must be 0 when `not_null_link_columns`).
+    pub null_fraction: f64,
+}
+
+impl TpchConfig {
+    /// Paper-experiment proportions at a relative scale: `scaled(1.0)`
+    /// supports the paper's largest block sizes (outer up to 48K tuples,
+    /// inner blocks 16K and 12K, Query 1 inner 7K).
+    pub fn scaled(scale: f64) -> TpchConfig {
+        let s = |n: f64| ((n * scale).round() as usize).max(8);
+        let lineitem = s(120_000.0);
+        TpchConfig {
+            seed: 42,
+            orders: s(40_000.0),
+            lineitem,
+            part: s(60_000.0),
+            suppliers: s(3_000.0),
+            partsupp_per_part: 2,
+            customers: s(10_000.0),
+            quantity_levels: 10,
+            q1_inner_fraction: 7_000.0 / 120_000.0,
+            not_null_link_columns: true,
+            null_fraction: 0.0,
+        }
+    }
+
+    /// A small configuration for unit tests.
+    pub fn tiny() -> TpchConfig {
+        TpchConfig::scaled(0.01)
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> TpchConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Drop the NOT NULL constraints on the money columns (optionally
+    /// injecting actual NULLs) — the paper's Query 1 ablation.
+    pub fn nullable_links(mut self, null_fraction: f64) -> TpchConfig {
+        self.not_null_link_columns = false;
+        self.null_fraction = null_fraction;
+        self
+    }
+}
+
+/// Generate a catalog according to `cfg`.
+pub fn generate(cfg: &TpchConfig) -> Catalog {
+    assert!(
+        !(cfg.not_null_link_columns && cfg.null_fraction > 0.0),
+        "cannot inject NULLs into NOT NULL columns"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut cat = Catalog::new();
+
+    // region / nation
+    let mut region = tables::region();
+    for (i, name) in ["africa", "america", "asia", "europe", "middle east"]
+        .iter()
+        .enumerate()
+    {
+        region
+            .insert(vec![Value::Int(i as i64), Value::str(*name)])
+            .unwrap();
+    }
+    cat.add_table(region).unwrap();
+
+    let mut nation = tables::nation();
+    for i in 0..25i64 {
+        nation
+            .insert(vec![
+                Value::Int(i),
+                Value::str(text::name("nation", i)),
+                Value::Int(i % 5),
+            ])
+            .unwrap();
+    }
+    cat.add_table(nation).unwrap();
+
+    // supplier
+    let mut supplier = tables::supplier();
+    for i in 1..=cfg.suppliers as i64 {
+        supplier
+            .insert(vec![
+                Value::Int(i),
+                Value::str(text::name("supplier", i)),
+                Value::Int(rng.gen_range(0..25)),
+                Value::Decimal(rng.gen_range(-99_999..999_999)),
+            ])
+            .unwrap();
+    }
+    cat.add_table(supplier).unwrap();
+
+    // customer
+    let mut customer = tables::customer();
+    let segments = [
+        "automobile",
+        "building",
+        "furniture",
+        "machinery",
+        "household",
+    ];
+    for i in 1..=cfg.customers as i64 {
+        customer
+            .insert(vec![
+                Value::Int(i),
+                Value::str(text::name("customer", i)),
+                Value::Int(rng.gen_range(0..25)),
+                Value::Decimal(rng.gen_range(-99_999..999_999)),
+                Value::str(segments[rng.gen_range(0..segments.len())]),
+            ])
+            .unwrap();
+    }
+    cat.add_table(customer).unwrap();
+
+    let maybe_null_money = |rng: &mut StdRng, lo: i64, hi: i64| -> Value {
+        if cfg.null_fraction > 0.0 && rng.gen_bool(cfg.null_fraction) {
+            Value::Null
+        } else {
+            Value::Decimal(rng.gen_range(lo..hi))
+        }
+    };
+
+    // part
+    let containers = ["sm case", "lg box", "med bag", "jumbo drum", "wrap pack"];
+    let mut part = tables::part(cfg.not_null_link_columns);
+    for i in 1..=cfg.part as i64 {
+        let retail = maybe_null_money(&mut rng, 90_000, 200_000);
+        part.insert(vec![
+            Value::Int(i),
+            Value::str(text::name("part", i)),
+            Value::str(format!("brand#{}", rng.gen_range(10..60))),
+            Value::Int(rng.gen_range(1..=50)),
+            Value::str(containers[rng.gen_range(0..containers.len())]),
+            retail,
+        ])
+        .unwrap();
+    }
+    cat.add_table(part).unwrap();
+
+    // partsupp: `partsupp_per_part` distinct suppliers per part. Remember
+    // the suppliers of each part so lineitem rows reference a real pair.
+    let mut partsupp = tables::partsupp(cfg.not_null_link_columns);
+    let mut part_suppliers: Vec<Vec<i64>> = Vec::with_capacity(cfg.part);
+    for p in 1..=cfg.part as i64 {
+        let mut supps = Vec::with_capacity(cfg.partsupp_per_part);
+        while supps.len() < cfg.partsupp_per_part {
+            let s = rng.gen_range(1..=cfg.suppliers as i64);
+            if !supps.contains(&s) {
+                supps.push(s);
+            }
+        }
+        for &s in &supps {
+            // Comparable in range to p_retailprice so the paper's
+            // `p_retailprice < ANY/ALL (ps_supplycost...)` predicates have
+            // useful selectivity.
+            let cost = maybe_null_money(&mut rng, 50_000, 250_000);
+            partsupp
+                .insert(vec![
+                    Value::Int(p),
+                    Value::Int(s),
+                    Value::Int(rng.gen_range(1..=10_000)),
+                    cost,
+                ])
+                .unwrap();
+        }
+        part_suppliers.push(supps);
+    }
+    cat.add_table(partsupp).unwrap();
+
+    // orders
+    let mut orders = tables::orders(cfg.not_null_link_columns);
+    let priorities = ["1-urgent", "2-high", "3-medium", "4-not specified", "5-low"];
+    for i in 1..=cfg.orders as i64 {
+        let total = maybe_null_money(&mut rng, 100_000, 50_000_000);
+        orders
+            .insert(vec![
+                Value::Int(i),
+                Value::Int(rng.gen_range(1..=cfg.customers as i64)),
+                Value::str(if rng.gen_bool(0.5) { "o" } else { "f" }),
+                total,
+                Value::Date(rng.gen_range(DATE_LO..DATE_HI)),
+                Value::str(priorities[rng.gen_range(0..priorities.len())]),
+            ])
+            .unwrap();
+    }
+    cat.add_table(orders).unwrap();
+
+    // lineitem
+    let mut lineitem = tables::lineitem(cfg.not_null_link_columns);
+    for i in 1..=cfg.lineitem as i64 {
+        let pkey = rng.gen_range(1..=cfg.part as i64);
+        let supps = &part_suppliers[(pkey - 1) as usize];
+        let skey = supps[rng.gen_range(0..supps.len())];
+        let ship = rng.gen_range(DATE_LO..DATE_HI);
+        // Query 1's inner predicate (commit < receipt AND ship < commit)
+        // holds with probability `q1_inner_fraction`.
+        let (commit, receipt) = if rng.gen_bool(cfg.q1_inner_fraction) {
+            let c = ship + rng.gen_range(1..=30);
+            (c, c + rng.gen_range(1..=30))
+        } else if rng.gen_bool(0.5) {
+            // violate ship < commit
+            let c = ship - rng.gen_range(0..=15);
+            (c, c + rng.gen_range(1..=30))
+        } else {
+            // violate commit < receipt
+            let c = ship + rng.gen_range(1..=30);
+            (c, c - rng.gen_range(0..=15))
+        };
+        let price = maybe_null_money(&mut rng, 90_000, 10_000_000);
+        lineitem
+            .insert(vec![
+                Value::Int(rng.gen_range(1..=cfg.orders as i64)),
+                Value::Int(i),
+                Value::Int(pkey),
+                Value::Int(skey),
+                Value::Int(rng.gen_range(1..=cfg.quantity_levels)),
+                price,
+                Value::Date(ship),
+                Value::Date(commit),
+                Value::Date(receipt),
+            ])
+            .unwrap();
+    }
+    cat.add_table(lineitem).unwrap();
+
+    cat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let cfg = TpchConfig::tiny();
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert!(a
+            .table("lineitem")
+            .unwrap()
+            .data()
+            .multiset_eq(b.table("lineitem").unwrap().data()));
+        let c = generate(&cfg.clone().with_seed(7));
+        assert!(!a
+            .table("lineitem")
+            .unwrap()
+            .data()
+            .multiset_eq(c.table("lineitem").unwrap().data()));
+    }
+
+    #[test]
+    fn row_counts_match_config() {
+        let cfg = TpchConfig::tiny();
+        let cat = generate(&cfg);
+        assert_eq!(cat.table("orders").unwrap().len(), cfg.orders);
+        assert_eq!(cat.table("lineitem").unwrap().len(), cfg.lineitem);
+        assert_eq!(cat.table("part").unwrap().len(), cfg.part);
+        assert_eq!(
+            cat.table("partsupp").unwrap().len(),
+            cfg.part * cfg.partsupp_per_part
+        );
+    }
+
+    #[test]
+    fn q1_inner_fraction_is_respected() {
+        let cfg = TpchConfig::scaled(0.1);
+        let cat = generate(&cfg);
+        let li = cat.table("lineitem").unwrap();
+        let s = li.schema();
+        let (ship, commit, receipt) = (
+            s.resolve("l_shipdate").unwrap(),
+            s.resolve("l_commitdate").unwrap(),
+            s.resolve("l_receiptdate").unwrap(),
+        );
+        let hits = li
+            .data()
+            .rows()
+            .iter()
+            .filter(|r| {
+                r[commit].sql_cmp(&r[receipt]) == Some(std::cmp::Ordering::Less)
+                    && r[ship].sql_cmp(&r[commit]) == Some(std::cmp::Ordering::Less)
+            })
+            .count();
+        let expect = cfg.q1_inner_fraction * cfg.lineitem as f64;
+        let tolerance = expect * 0.25;
+        assert!(
+            (hits as f64 - expect).abs() < tolerance,
+            "hits {hits} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn lineitem_references_real_partsupp_pairs() {
+        let cfg = TpchConfig::tiny();
+        let cat = generate(&cfg);
+        let ps = cat.table("partsupp").unwrap();
+        let pairs: std::collections::HashSet<(i64, i64)> = ps
+            .data()
+            .rows()
+            .iter()
+            .map(|r| match (&r[0], &r[1]) {
+                (Value::Int(a), Value::Int(b)) => (*a, *b),
+                _ => unreachable!(),
+            })
+            .collect();
+        let li = cat.table("lineitem").unwrap();
+        for r in li.data().rows() {
+            let (p, s) = match (&r[2], &r[3]) {
+                (Value::Int(a), Value::Int(b)) => (*a, *b),
+                _ => unreachable!(),
+            };
+            assert!(pairs.contains(&(p, s)), "({p},{s}) not in partsupp");
+        }
+    }
+
+    #[test]
+    fn nullable_links_inject_nulls() {
+        let cfg = TpchConfig::tiny().nullable_links(0.2);
+        let cat = generate(&cfg);
+        let li = cat.table("lineitem").unwrap();
+        let idx = li.schema().resolve("l_extendedprice").unwrap();
+        let nulls = li.data().rows().iter().filter(|r| r[idx].is_null()).count();
+        assert!(nulls > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot inject NULLs")]
+    fn null_injection_into_not_null_panics() {
+        let mut cfg = TpchConfig::tiny();
+        cfg.null_fraction = 0.5;
+        generate(&cfg);
+    }
+}

@@ -1,0 +1,21 @@
+//! # nra-tpch
+//!
+//! Data substrate for the paper's evaluation:
+//!
+//! * [`tables`] — TPC-H table schemas (with the `NOT NULL` switch on money
+//!   columns that drives the paper's Query 1 ablation);
+//! * [`gen`] — seeded, size-parameterised data generation whose
+//!   selectivity knobs reproduce the paper's query-block cardinalities;
+//! * [`queries`] — builders for the paper's Query 1, Query 2a/2b and
+//!   Query 3a/3b/3c (with the three correlated-predicate variants);
+//! * [`paper_example`] — the Section 2 running example (`R`/`S`/`T`,
+//!   Query Q) with a hand-derived golden answer.
+
+pub mod gen;
+pub mod paper_example;
+pub mod queries;
+pub mod tables;
+pub mod text;
+
+pub use gen::{generate, TpchConfig};
+pub use queries::{q1_agg_sql, q1_sql, q2_sql, q3_sql, ExistsKind, Q3Corr, Quant};

@@ -1,0 +1,149 @@
+//! The paper's running example: relations `R(A,B,C,D)`, `S(E,F,G,H,I)`,
+//! `T(J,K,L)` and the two-level nested Query Q of Section 2.
+//!
+//! The published figure's exact tuple values are not recoverable from the
+//! available text, so this instance is constructed to exercise every
+//! phenomenon the example demonstrates:
+//!
+//! * an outer tuple whose inner partner fails the `ALL` test and must be
+//!   *excluded from the set without discarding the outer tuple* (`r1` —
+//!   the pseudo-selection case);
+//! * a NULL linking attribute compared against a non-empty set, giving
+//!   *unknown* (`r3`'s partner `s3` with `H = NULL`);
+//! * a NULL local attribute filtered by the outer block (`r4`);
+//! * empty vs non-empty sets distinguished through carried keys after the
+//!   unnesting outer joins.
+//!
+//! The expected answer is derived by hand in the comments below and
+//! doubles as a golden test for every execution strategy.
+
+use nra_storage::{Catalog, Column, ColumnType, Schema, Table, Value};
+
+/// The paper's Query Q (Section 2), verbatim modulo identifier case.
+pub const QUERY_Q: &str = "select r.b, r.c, r.d from r \
+     where r.a > 1 and r.b not in \
+       (select s.e from s where s.f = 5 and r.d = s.g and s.h > all \
+          (select t.j from t where t.k = r.c and t.l <> s.i))";
+
+fn int_col(name: &str, pk: bool) -> Column {
+    if pk {
+        Column::not_null(name, ColumnType::Int)
+    } else {
+        Column::new(name, ColumnType::Int)
+    }
+}
+
+fn i(v: i64) -> Value {
+    Value::Int(v)
+}
+
+fn null() -> Value {
+    Value::Null
+}
+
+/// Build the example catalog. Primary keys: `R.D`, `S.I`, `T.L`.
+pub fn rst_catalog() -> Catalog {
+    let mut cat = Catalog::new();
+
+    let mut r = Table::new(
+        "r",
+        Schema::new(vec![
+            int_col("a", false),
+            int_col("b", false),
+            int_col("c", false),
+            int_col("d", true),
+        ]),
+    );
+    r.set_primary_key(&["d"]).unwrap();
+    r.insert_many(vec![
+        vec![i(2), i(2), i(3), i(1)],     // r1
+        vec![i(3), i(4), i(5), i(2)],     // r2
+        vec![i(5), i(6), i(7), i(3)],     // r3
+        vec![null(), null(), i(5), i(4)], // r4 (A is NULL)
+    ])
+    .unwrap();
+    cat.add_table(r).unwrap();
+
+    let mut s = Table::new(
+        "s",
+        Schema::new(vec![
+            int_col("e", false),
+            int_col("f", false),
+            int_col("g", false),
+            int_col("h", false),
+            int_col("i", true),
+        ]),
+    );
+    s.set_primary_key(&["i"]).unwrap();
+    s.insert_many(vec![
+        vec![i(2), i(5), i(1), i(9), i(1)],   // s1: partner of r1
+        vec![i(4), i(5), i(2), i(3), i(2)],   // s2: partner of r2
+        vec![i(6), i(5), i(3), null(), i(3)], // s3: partner of r3, H NULL
+        vec![i(8), i(7), i(1), i(5), i(4)],   // s4: filtered out (F <> 5)
+    ])
+    .unwrap();
+    cat.add_table(s).unwrap();
+
+    let mut t = Table::new(
+        "t",
+        Schema::new(vec![
+            int_col("j", false),
+            int_col("k", false),
+            int_col("l", true),
+        ]),
+    );
+    t.set_primary_key(&["l"]).unwrap();
+    t.insert_many(vec![
+        vec![i(5), i(3), i(1)],   // t1: K matches r1.C, but L = s1.I
+        vec![i(12), i(3), i(2)],  // t2: K matches r1.C
+        vec![i(1), i(5), i(3)],   // t3: K matches r2.C
+        vec![null(), i(4), i(4)], // t4: matches no one
+        vec![i(2), i(7), i(5)],   // t5: K matches r3.C
+    ])
+    .unwrap();
+    cat.add_table(t).unwrap();
+
+    cat
+}
+
+/// Hand-derived answer of Query Q on [`rst_catalog`]:
+///
+/// * `r1` (A=2>1, B=2, C=3, D=1): qualifying S rows with F=5, G=1: {s1}.
+///   For s1, the inner block is `{t.j | t.k = 3 ∧ t.l ≠ 1}` = {12} (t1 is
+///   excluded by `l ≠ 1`). `s1.H = 9 > ALL {12}` is **false**, so s1 drops
+///   out of the set — but r1 must survive with the now-empty set:
+///   `2 NOT IN {}` is **true** → r1 answers.
+/// * `r2` (B=4, C=5, D=2): partner s2; inner set `{t.j | k=5 ∧ l≠2}` =
+///   {1}; `3 > ALL {1}` true → set = {4}; `4 NOT IN {4}` false → out.
+/// * `r3` (B=6, C=7, D=3): partner s3; inner set `{t.j | k=7 ∧ l≠3}` =
+///   {2}; `NULL > ALL {2}` is **unknown** → s3 drops out → set empty →
+///   `6 NOT IN {}` true → r3 answers.
+/// * `r4`: `A > 1` is unknown (A NULL) → out.
+pub fn expected_query_q_result() -> Vec<Vec<Value>> {
+    vec![
+        vec![i(2), i(3), i(1)], // r1
+        vec![i(6), i(7), i(3)], // r3
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_shape() {
+        let cat = rst_catalog();
+        assert_eq!(cat.table("r").unwrap().len(), 4);
+        assert_eq!(cat.table("s").unwrap().len(), 4);
+        assert_eq!(cat.table("t").unwrap().len(), 5);
+        assert_eq!(cat.table("r").unwrap().primary_key(), &[3]);
+    }
+
+    #[test]
+    fn query_q_parses() {
+        let cat = rst_catalog();
+        let bq = nra_sql::parse_and_bind(QUERY_Q, &cat).unwrap();
+        assert_eq!(bq.num_blocks, 3);
+        assert_eq!(bq.root.nesting_depth(), 2);
+    }
+}

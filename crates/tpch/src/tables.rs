@@ -1,0 +1,168 @@
+//! TPC-H table schemas (the subset of columns the paper's experiments
+//! touch, plus enough context columns to make the data realistic).
+//!
+//! The `not_null_link_columns` switch reproduces the paper's Query 1
+//! observation: with a `NOT NULL` constraint on `l_extendedprice` (and the
+//! other linked/linking money columns) System A can antijoin; without it —
+//! even when no NULL is actually present — it cannot.
+
+use nra_storage::{Column, ColumnType, Schema, Table};
+
+fn money(name: &str, not_null: bool) -> Column {
+    if not_null {
+        Column::not_null(name, ColumnType::Decimal)
+    } else {
+        Column::new(name, ColumnType::Decimal)
+    }
+}
+
+/// Build the (empty) `region` table.
+pub fn region() -> Table {
+    let mut t = Table::new(
+        "region",
+        Schema::new(vec![
+            Column::not_null("r_regionkey", ColumnType::Int),
+            Column::not_null("r_name", ColumnType::Str),
+        ]),
+    );
+    t.set_primary_key(&["r_regionkey"]).unwrap();
+    t
+}
+
+/// Build the (empty) `nation` table.
+pub fn nation() -> Table {
+    let mut t = Table::new(
+        "nation",
+        Schema::new(vec![
+            Column::not_null("n_nationkey", ColumnType::Int),
+            Column::not_null("n_name", ColumnType::Str),
+            Column::not_null("n_regionkey", ColumnType::Int),
+        ]),
+    );
+    t.set_primary_key(&["n_nationkey"]).unwrap();
+    t
+}
+
+/// Build the (empty) `supplier` table.
+pub fn supplier() -> Table {
+    let mut t = Table::new(
+        "supplier",
+        Schema::new(vec![
+            Column::not_null("s_suppkey", ColumnType::Int),
+            Column::not_null("s_name", ColumnType::Str),
+            Column::not_null("s_nationkey", ColumnType::Int),
+            Column::not_null("s_acctbal", ColumnType::Decimal),
+        ]),
+    );
+    t.set_primary_key(&["s_suppkey"]).unwrap();
+    t
+}
+
+/// Build the (empty) `customer` table.
+pub fn customer() -> Table {
+    let mut t = Table::new(
+        "customer",
+        Schema::new(vec![
+            Column::not_null("c_custkey", ColumnType::Int),
+            Column::not_null("c_name", ColumnType::Str),
+            Column::not_null("c_nationkey", ColumnType::Int),
+            Column::not_null("c_acctbal", ColumnType::Decimal),
+            Column::not_null("c_mktsegment", ColumnType::Str),
+        ]),
+    );
+    t.set_primary_key(&["c_custkey"]).unwrap();
+    t
+}
+
+/// Build the (empty) `part` table.
+pub fn part(not_null_link_columns: bool) -> Table {
+    let mut t = Table::new(
+        "part",
+        Schema::new(vec![
+            Column::not_null("p_partkey", ColumnType::Int),
+            Column::not_null("p_name", ColumnType::Str),
+            Column::not_null("p_brand", ColumnType::Str),
+            Column::not_null("p_size", ColumnType::Int),
+            Column::not_null("p_container", ColumnType::Str),
+            money("p_retailprice", not_null_link_columns),
+        ]),
+    );
+    t.set_primary_key(&["p_partkey"]).unwrap();
+    t
+}
+
+/// Build the (empty) `partsupp` table.
+pub fn partsupp(not_null_link_columns: bool) -> Table {
+    let mut t = Table::new(
+        "partsupp",
+        Schema::new(vec![
+            Column::not_null("ps_partkey", ColumnType::Int),
+            Column::not_null("ps_suppkey", ColumnType::Int),
+            Column::not_null("ps_availqty", ColumnType::Int),
+            money("ps_supplycost", not_null_link_columns),
+        ]),
+    );
+    t.set_primary_key(&["ps_partkey", "ps_suppkey"]).unwrap();
+    t
+}
+
+/// Build the (empty) `orders` table.
+pub fn orders(not_null_link_columns: bool) -> Table {
+    let mut t = Table::new(
+        "orders",
+        Schema::new(vec![
+            Column::not_null("o_orderkey", ColumnType::Int),
+            Column::not_null("o_custkey", ColumnType::Int),
+            Column::not_null("o_orderstatus", ColumnType::Str),
+            money("o_totalprice", not_null_link_columns),
+            Column::not_null("o_orderdate", ColumnType::Date),
+            Column::not_null("o_orderpriority", ColumnType::Str),
+        ]),
+    );
+    t.set_primary_key(&["o_orderkey"]).unwrap();
+    t
+}
+
+/// Build the (empty) `lineitem` table.
+pub fn lineitem(not_null_link_columns: bool) -> Table {
+    let mut t = Table::new(
+        "lineitem",
+        Schema::new(vec![
+            Column::not_null("l_orderkey", ColumnType::Int),
+            Column::not_null("l_linenumber", ColumnType::Int),
+            Column::not_null("l_partkey", ColumnType::Int),
+            Column::not_null("l_suppkey", ColumnType::Int),
+            Column::not_null("l_quantity", ColumnType::Int),
+            money("l_extendedprice", not_null_link_columns),
+            Column::not_null("l_shipdate", ColumnType::Date),
+            Column::not_null("l_commitdate", ColumnType::Date),
+            Column::not_null("l_receiptdate", ColumnType::Date),
+        ]),
+    );
+    t.set_primary_key(&["l_orderkey", "l_linenumber"]).unwrap();
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_keys_declared() {
+        assert_eq!(part(true).primary_key().len(), 1);
+        assert_eq!(partsupp(true).primary_key().len(), 2);
+        assert_eq!(lineitem(true).primary_key().len(), 2);
+    }
+
+    #[test]
+    fn link_column_nullability_switch() {
+        let strict = lineitem(true);
+        let loose = lineitem(false);
+        let idx = strict.schema().resolve("l_extendedprice").unwrap();
+        assert!(!strict.schema().column(idx).nullable);
+        assert!(loose.schema().column(idx).nullable);
+        // Non-link columns stay NOT NULL either way.
+        let q = loose.schema().resolve("l_quantity").unwrap();
+        assert!(!loose.schema().column(q).nullable);
+    }
+}

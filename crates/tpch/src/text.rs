@@ -1,0 +1,40 @@
+//! Small text helpers: date rendering and synthetic names.
+
+pub use nra_storage::value::civil_from_days;
+
+/// Render a day count as an SQL `date 'YYYY-MM-DD'` literal.
+pub fn date_literal(days: i32) -> String {
+    let (y, m, d) = civil_from_days(days);
+    format!("date '{y:04}-{m:02}-{d:02}'")
+}
+
+/// A deterministic synthetic name like `part#000042`.
+pub fn name(prefix: &str, key: i64) -> String {
+    format!("{prefix}#{key:06}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nra_sql::parser::parse_date;
+
+    #[test]
+    fn civil_roundtrips_with_parse_date() {
+        for days in [-1000, -1, 0, 1, 365, 9131, 10_000, 20_000] {
+            let (y, m, d) = civil_from_days(days);
+            let s = format!("{y:04}-{m:02}-{d:02}");
+            assert_eq!(parse_date(&s), Some(days), "roundtrip for {days} via {s}");
+        }
+    }
+
+    #[test]
+    fn date_literal_parses() {
+        assert_eq!(date_literal(0), "date '1970-01-01'");
+        assert_eq!(date_literal(9131), "date '1995-01-01'");
+    }
+
+    #[test]
+    fn names_are_fixed_width() {
+        assert_eq!(name("part", 42), "part#000042");
+    }
+}

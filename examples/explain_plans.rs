@@ -1,0 +1,92 @@
+//! EXPLAIN tour: the paper's tree expression (Figure 3a), the Algorithm-1
+//! operator pipeline (Figure 3b), and the aggregate-subquery extension.
+//!
+//! ```sh
+//! cargo run --example explain_plans
+//! ```
+
+use nra::core::TreeExpr;
+use nra::storage::{Column, ColumnType, Value};
+use nra::Database;
+
+fn show(db: &Database, sql: &str) {
+    println!("== {sql}\n");
+    println!("{}", db.explain(sql).unwrap());
+    let bq = db.prepare(sql).unwrap();
+    let tree = TreeExpr::build(&bq);
+    println!("\ntree expression (paper Fig. 3a):\n{tree}");
+    println!("operator pipeline (paper Fig. 3b):\n{}", tree.render_plan());
+    let out = db.query(sql).unwrap();
+    println!("result:\n{out}\n");
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut db = Database::new();
+    db.create_table(
+        "products",
+        vec![
+            Column::not_null("pid", ColumnType::Int),
+            Column::not_null("category", ColumnType::Int),
+            Column::new("price", ColumnType::Decimal),
+        ],
+        &["pid"],
+    )?;
+    db.create_table(
+        "sales",
+        vec![
+            Column::not_null("sid", ColumnType::Int),
+            Column::not_null("pid", ColumnType::Int),
+            Column::new("qty", ColumnType::Int),
+        ],
+        &["sid"],
+    )?;
+    db.insert(
+        "products",
+        vec![
+            vec![Value::Int(1), Value::Int(10), Value::decimal(19, 99)],
+            vec![Value::Int(2), Value::Int(10), Value::decimal(5, 49)],
+            vec![Value::Int(3), Value::Int(20), Value::Null],
+            vec![Value::Int(4), Value::Int(20), Value::decimal(99, 0)],
+        ],
+    )?;
+    db.insert(
+        "sales",
+        vec![
+            vec![Value::Int(100), Value::Int(1), Value::Int(3)],
+            vec![Value::Int(101), Value::Int(1), Value::Int(5)],
+            vec![Value::Int(102), Value::Int(2), Value::Int(1)],
+        ],
+    )?;
+
+    // A negative linking operator: the paper's headline case.
+    show(
+        &db,
+        "select pid from products where price > all \
+         (select price from products p2 where p2.category = products.category \
+          and p2.pid <> products.pid)",
+    );
+
+    // Mixed operators over two levels.
+    show(
+        &db,
+        "select pid from products where pid in \
+         (select pid from sales where qty < some \
+            (select qty from sales s2 where s2.pid = sales.pid))",
+    );
+
+    // The aggregate extension: unsold or barely-sold products, by COUNT —
+    // note the empty set must compare as 0 (the classical count bug).
+    show(
+        &db,
+        "select pid from products where 1 >= \
+         (select count(*) from sales where sales.pid = products.pid)",
+    );
+
+    // ... and products priced above their category's average.
+    show(
+        &db,
+        "select pid from products where price > \
+         (select avg(price) from products p2 where p2.category = products.category)",
+    );
+    Ok(())
+}

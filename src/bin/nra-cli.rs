@@ -1,0 +1,263 @@
+//! `nra-cli` — an interactive shell over the nested relational engine.
+//!
+//! ```sh
+//! cargo run --release --bin nra-cli
+//! ```
+//!
+//! Meta-commands (everything else is executed as SQL):
+//!
+//! ```text
+//! :help                         this text
+//! :tpch <scale>                 generate TPC-H-shaped data (e.g. :tpch 0.05)
+//! :tbl <table> <file>           load a dbgen .tbl file into an existing table
+//! :create <t> (a int, b str not null, ...) [pk(a,...)]
+//! :load <table> <file.csv>      load a CSV (header row) into a table
+//! :export <table> <file.csv>    dump a table to CSV
+//! :tables                       list tables with row counts
+//! :engine <auto|original|optimized|bottomup|pushdown|positive|baseline|oracle>
+//! :explain <sql>                plan choices + the paper's tree expression
+//! :timing on|off                print execution time per query
+//! :quit
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::time::Instant;
+
+use nra::core::TreeExpr;
+use nra::storage::csv::{read_rows, write_relation, CsvOptions};
+use nra::storage::{Column, ColumnType, Schema, Table};
+use nra::{Database, Engine, Strategy};
+
+struct Shell {
+    db: Database,
+    engine: Engine,
+    timing: bool,
+}
+
+fn main() {
+    let mut shell = Shell {
+        db: Database::new(),
+        engine: Engine::default(),
+        timing: false,
+    };
+    println!("nra-cli — nested relational subquery processor (:help for commands)");
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        print!("nra> ");
+        std::io::stdout().flush().ok();
+        line.clear();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let input = line.trim();
+        if input.is_empty() {
+            continue;
+        }
+        if input == ":quit" || input == ":q" {
+            break;
+        }
+        if let Err(e) = shell.dispatch(input) {
+            eprintln!("error: {e}");
+        }
+    }
+}
+
+impl Shell {
+    fn dispatch(&mut self, input: &str) -> Result<(), String> {
+        if let Some(rest) = input.strip_prefix(':') {
+            let (cmd, args) = rest.split_once(' ').unwrap_or((rest, ""));
+            let args = args.trim();
+            match cmd {
+                "help" | "h" => {
+                    println!("{}", HELP);
+                    Ok(())
+                }
+                "tpch" => self.cmd_tpch(args),
+                "tbl" => self.cmd_tbl(args),
+                "create" => self.cmd_create(args),
+                "load" => self.cmd_load(args),
+                "export" => self.cmd_export(args),
+                "tables" => {
+                    for name in self.db.catalog().table_names() {
+                        let t = self.db.catalog().table(name).map_err(err)?;
+                        println!("{name}: {} rows, {} columns", t.len(), t.schema().len());
+                    }
+                    Ok(())
+                }
+                "engine" => self.cmd_engine(args),
+                "explain" => self.cmd_explain(args),
+                "timing" => {
+                    self.timing = args.eq_ignore_ascii_case("on");
+                    println!("timing {}", if self.timing { "on" } else { "off" });
+                    Ok(())
+                }
+                other => Err(format!("unknown command `:{other}` (try :help)")),
+            }
+        } else {
+            self.run_sql(input)
+        }
+    }
+
+    fn run_sql(&self, sql: &str) -> Result<(), String> {
+        let start = Instant::now();
+        let out = self.db.query_with(sql, self.engine).map_err(err)?;
+        let elapsed = start.elapsed();
+        println!("{out}");
+        if self.timing {
+            println!("({elapsed:.2?})");
+        }
+        Ok(())
+    }
+
+    fn cmd_tpch(&mut self, args: &str) -> Result<(), String> {
+        let scale: f64 = args
+            .parse()
+            .map_err(|_| ":tpch takes a scale, e.g. :tpch 0.05")?;
+        let cat = nra::tpch::generate(&nra::tpch::TpchConfig::scaled(scale));
+        for name in cat.table_names() {
+            println!("{name}: {} rows", cat.table(name).unwrap().len());
+        }
+        self.db = Database::from_catalog(cat);
+        Ok(())
+    }
+
+    fn cmd_tbl(&mut self, args: &str) -> Result<(), String> {
+        let (table, path) = args
+            .split_once(' ')
+            .ok_or(":tbl takes a table name and a file path")?;
+        let file = std::fs::File::open(path.trim()).map_err(err)?;
+        let schema = self
+            .db
+            .catalog()
+            .table(table)
+            .map_err(err)?
+            .schema()
+            .clone();
+        let rows = read_rows(BufReader::new(file), &schema, &CsvOptions::tbl()).map_err(err)?;
+        let n = rows.len();
+        self.db.insert(table, rows).map_err(err)?;
+        println!("loaded {n} rows into {table}");
+        Ok(())
+    }
+
+    /// `:create t (a int, b str not null) pk(a)`
+    fn cmd_create(&mut self, args: &str) -> Result<(), String> {
+        let open = args.find('(').ok_or("expected `(col type, ...)`")?;
+        let name = args[..open].trim().to_string();
+        // Split off a trailing pk(...) clause if present.
+        let (cols_part, pk_part) = args[open + 1..]
+            .split_once(')')
+            .map(|(cols, rest)| (cols, rest.trim()))
+            .ok_or("unbalanced parentheses")?;
+        let mut columns = Vec::new();
+        for spec in cols_part.split(',') {
+            let mut words = spec.split_whitespace();
+            let col = words.next().ok_or("empty column spec")?;
+            let ty = match words.next().unwrap_or("int").to_ascii_lowercase().as_str() {
+                "int" | "integer" => ColumnType::Int,
+                "str" | "string" | "text" | "varchar" => ColumnType::Str,
+                "decimal" | "money" => ColumnType::Decimal,
+                "float" | "double" => ColumnType::Float,
+                "date" => ColumnType::Date,
+                "bool" | "boolean" => ColumnType::Bool,
+                other => return Err(format!("unknown type `{other}`")),
+            };
+            let rest: Vec<String> = words.map(|w| w.to_ascii_lowercase()).collect();
+            let not_null = rest.join(" ").contains("not null");
+            columns.push(if not_null {
+                Column::not_null(col, ty)
+            } else {
+                Column::new(col, ty)
+            });
+        }
+        let mut table = Table::new(&name, Schema::new(columns));
+        if let Some(pk) = pk_part
+            .strip_prefix("pk(")
+            .and_then(|s| s.strip_suffix(')'))
+        {
+            let cols: Vec<&str> = pk.split(',').map(str::trim).collect();
+            table.set_primary_key(&cols).map_err(err)?;
+        }
+        self.db.catalog_mut().add_table(table).map_err(err)?;
+        println!("created {name}");
+        Ok(())
+    }
+
+    fn cmd_load(&mut self, args: &str) -> Result<(), String> {
+        let (table, path) = args
+            .split_once(' ')
+            .ok_or(":load takes a table name and a file path")?;
+        let file = std::fs::File::open(path.trim()).map_err(err)?;
+        let schema = self
+            .db
+            .catalog()
+            .table(table)
+            .map_err(err)?
+            .schema()
+            .clone();
+        let rows = read_rows(BufReader::new(file), &schema, &CsvOptions::default()).map_err(err)?;
+        let n = rows.len();
+        self.db.insert(table, rows).map_err(err)?;
+        println!("loaded {n} rows into {table}");
+        Ok(())
+    }
+
+    fn cmd_export(&mut self, args: &str) -> Result<(), String> {
+        let (table, path) = args
+            .split_once(' ')
+            .ok_or(":export takes a table name and a file path")?;
+        let rel = self.db.catalog().table(table).map_err(err)?.data().clone();
+        let file = std::fs::File::create(path.trim()).map_err(err)?;
+        write_relation(file, &rel, &CsvOptions::default()).map_err(err)?;
+        println!("wrote {} rows to {}", rel.len(), path.trim());
+        Ok(())
+    }
+
+    fn cmd_engine(&mut self, args: &str) -> Result<(), String> {
+        self.engine = match args.to_ascii_lowercase().as_str() {
+            "auto" | "nr" => Engine::NestedRelational(Strategy::Auto),
+            "original" => Engine::NestedRelational(Strategy::Original),
+            "optimized" => Engine::NestedRelational(Strategy::Optimized),
+            "bottomup" => Engine::NestedRelational(Strategy::BottomUp),
+            "pushdown" => Engine::NestedRelational(Strategy::BottomUpPushdown),
+            "positive" => Engine::NestedRelational(Strategy::PositiveRewrite),
+            "baseline" | "native" => Engine::Baseline,
+            "oracle" | "reference" => Engine::Reference,
+            other => return Err(format!("unknown engine `{other}`")),
+        };
+        println!("engine set to {:?}", self.engine);
+        Ok(())
+    }
+
+    fn cmd_explain(&mut self, sql: &str) -> Result<(), String> {
+        println!("{}", self.db.explain(sql).map_err(err)?);
+        let bq = self.db.prepare(sql).map_err(err)?;
+        let tree = TreeExpr::build(&bq);
+        println!("\ntree expression:\n{tree}");
+        println!("operator pipeline:\n{}", tree.render_plan());
+        Ok(())
+    }
+}
+
+fn err(e: impl std::fmt::Display) -> String {
+    e.to_string()
+}
+
+const HELP: &str = "\
+:tpch <scale>                 generate TPC-H-shaped data (e.g. :tpch 0.05)
+:tbl <table> <file>           load a dbgen .tbl file into an existing table
+:create <t> (a int, b str not null, ...) [pk(a,...)]
+:load <table> <file.csv>      load a CSV (header row) into a table
+:export <table> <file.csv>    dump a table to CSV
+:tables                       list tables with row counts
+:engine <auto|original|optimized|bottomup|pushdown|positive|baseline|oracle>
+:explain <sql>                plan choices + the paper's tree expression
+:timing on|off                print execution time per query
+:quit                         exit
+anything else                 executed as SQL";

@@ -1,0 +1,333 @@
+//! # nra — A Nested Relational Approach to Processing SQL Subqueries
+//!
+//! Top-level facade over the workspace crates, reproducing Cao & Badia's
+//! SIGMOD 2005 system: a SQL front end for nested non-aggregate
+//! subqueries, a flat relational engine with the commercial-style baseline
+//! plans, and the paper's nested relational evaluation strategies.
+//!
+//! ```
+//! use nra::{Database, Engine};
+//! use nra::storage::{Column, ColumnType, Value};
+//!
+//! let mut db = Database::new();
+//! db.create_table(
+//!     "emp",
+//!     vec![
+//!         Column::not_null("id", ColumnType::Int),
+//!         Column::new("salary", ColumnType::Int),
+//!         Column::new("dept", ColumnType::Int),
+//!     ],
+//!     &["id"],
+//! )
+//! .unwrap();
+//! db.insert("emp", vec![
+//!     vec![Value::Int(1), Value::Int(90), Value::Int(1)],
+//!     vec![Value::Int(2), Value::Int(70), Value::Int(1)],
+//!     vec![Value::Int(3), Value::Null,   Value::Int(2)],
+//! ])
+//! .unwrap();
+//!
+//! // Employees earning more than everyone in department 2 — a `> ALL`
+//! // subquery, NULL-correct out of the box.
+//! let top = db
+//!     .query("select id from emp where salary > all \
+//!             (select salary from emp e2 where e2.dept = 2)")
+//!     .unwrap();
+//! assert_eq!(top.len(), 0, "NULL salary in dept 2 blocks every comparison");
+//! ```
+
+use std::fmt;
+
+pub use nra_core as core;
+pub use nra_engine as engine;
+pub use nra_sql as sql;
+pub use nra_storage as storage;
+pub use nra_tpch as tpch;
+
+pub use nra_core::Strategy;
+use nra_engine::EngineError;
+use nra_sql::{BoundQuery, SqlError};
+use nra_storage::{Catalog, Column, Relation, Schema, StorageError, Table, Tuple};
+
+/// Which execution engine answers a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// The paper's nested relational approach with the given strategy.
+    NestedRelational(Strategy),
+    /// The "System A"-style native plans (semijoin/antijoin cascades when
+    /// licensed, nested iteration with index probes otherwise).
+    Baseline,
+    /// The brute-force tuple-iteration oracle.
+    Reference,
+}
+
+impl Default for Engine {
+    fn default() -> Engine {
+        Engine::NestedRelational(Strategy::Auto)
+    }
+}
+
+/// Unified error type of the facade.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NraError {
+    Storage(StorageError),
+    Sql(SqlError),
+    Engine(EngineError),
+}
+
+impl fmt::Display for NraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NraError::Storage(e) => write!(f, "{e}"),
+            NraError::Sql(e) => write!(f, "{e}"),
+            NraError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for NraError {}
+
+impl From<StorageError> for NraError {
+    fn from(e: StorageError) -> Self {
+        NraError::Storage(e)
+    }
+}
+
+impl From<SqlError> for NraError {
+    fn from(e: SqlError) -> Self {
+        NraError::Sql(e)
+    }
+}
+
+impl From<EngineError> for NraError {
+    fn from(e: EngineError) -> Self {
+        NraError::Engine(e)
+    }
+}
+
+/// An in-memory database: a catalog plus query execution.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    catalog: Catalog,
+}
+
+impl Database {
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Wrap an existing catalog (e.g. one produced by
+    /// [`tpch::generate`]).
+    pub fn from_catalog(catalog: Catalog) -> Database {
+        Database { catalog }
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Create a table with the given columns and primary key.
+    pub fn create_table(
+        &mut self,
+        name: &str,
+        columns: Vec<Column>,
+        primary_key: &[&str],
+    ) -> Result<(), NraError> {
+        let mut table = Table::new(name, Schema::new(columns));
+        if !primary_key.is_empty() {
+            table.set_primary_key(primary_key)?;
+        }
+        self.catalog.add_table(table)?;
+        Ok(())
+    }
+
+    /// Insert rows into a table (validating types, arity, NOT NULL).
+    pub fn insert(&mut self, table: &str, rows: Vec<Tuple>) -> Result<(), NraError> {
+        self.catalog.table_mut(table)?.insert_many(rows)?;
+        Ok(())
+    }
+
+    /// Parse and bind a query without executing it.
+    pub fn prepare(&self, sql: &str) -> Result<BoundQuery, NraError> {
+        Ok(nra_sql::parse_and_bind(sql, &self.catalog)?)
+    }
+
+    /// Execute with the default engine (nested relational, auto strategy).
+    pub fn query(&self, sql: &str) -> Result<Relation, NraError> {
+        self.query_with(sql, Engine::default())
+    }
+
+    /// Execute with an explicit engine. Supports compound queries
+    /// (`UNION`/`INTERSECT`/`EXCEPT [ALL]`) plus `ORDER BY` (ascending
+    /// sorts place `NULL` first, descending last) and `LIMIT`,
+    /// which are applied over the per-block results: each `SELECT` block
+    /// runs through the chosen engine, the combined result goes through
+    /// the set-operation algebra (`nra_engine::ops::setops`).
+    pub fn query_with(&self, sql: &str, engine: Engine) -> Result<Relation, NraError> {
+        let query = nra_sql::parse_query(sql)?;
+        let mut rel = self.run(&nra_sql::bind(&query.first, &self.catalog)?, engine)?;
+        for part in &query.compounds {
+            let right = self.run(&nra_sql::bind(&part.stmt, &self.catalog)?, engine)?;
+            use nra_engine::ops::setops;
+            use nra_sql::SetOpKind;
+            rel = match (part.op, part.all) {
+                (SetOpKind::Union, false) => setops::union(&rel, &right),
+                (SetOpKind::Union, true) => setops::union_all(&rel, &right),
+                (SetOpKind::Intersect, false) => setops::intersect(&rel, &right),
+                (SetOpKind::Intersect, true) => setops::intersect_all(&rel, &right),
+                (SetOpKind::Except, false) => setops::difference(&rel, &right),
+                (SetOpKind::Except, true) => setops::difference_all(&rel, &right),
+            }?;
+        }
+        if !query.order_by.is_empty() {
+            let mut keys = Vec::new();
+            for (expr, desc) in &query.order_by {
+                let idx = match expr {
+                    // SQL-style positional reference: ORDER BY 1.
+                    nra_sql::ScalarExpr::Literal(nra_storage::Value::Int(n))
+                        if *n >= 1 && (*n as usize) <= rel.schema().len() =>
+                    {
+                        *n as usize - 1
+                    }
+                    nra_sql::ScalarExpr::Column { qualifier, name } => {
+                        let full = match qualifier {
+                            Some(q) => format!("{q}.{name}"),
+                            None => name.clone(),
+                        };
+                        rel.schema().resolve(&full).map_err(NraError::Storage)?
+                    }
+                    other => {
+                        return Err(NraError::Sql(SqlError::bind(format!(
+                            "ORDER BY supports output columns and positions, not `{other}`"
+                        ))))
+                    }
+                };
+                keys.push((idx, *desc));
+            }
+            rel.rows_mut().sort_by(|a, b| {
+                for &(idx, desc) in &keys {
+                    let ord = a[idx].total_cmp(&b[idx]);
+                    let ord = if desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        }
+        if let Some(n) = query.limit {
+            rel.rows_mut().truncate(n);
+        }
+        Ok(rel)
+    }
+
+    /// Execute a prepared query.
+    pub fn run(&self, query: &BoundQuery, engine: Engine) -> Result<Relation, NraError> {
+        Ok(match engine {
+            Engine::NestedRelational(strategy) => {
+                nra_core::execute(query, &self.catalog, strategy)?
+            }
+            Engine::Baseline => nra_engine::baseline::execute(query, &self.catalog)?,
+            Engine::Reference => nra_engine::reference::evaluate(query, &self.catalog)?,
+        })
+    }
+
+    /// A one-line description of the plan each engine would use. For a
+    /// compound query, explains the first `SELECT` block and notes the
+    /// set operations applied on top.
+    pub fn explain(&self, sql: &str) -> Result<String, NraError> {
+        let parsed = nra_sql::parse_query(sql)?;
+        let suffix = if parsed.compounds.is_empty() {
+            String::new()
+        } else {
+            format!(
+                "; then {} set operation(s) over the per-block results",
+                parsed.compounds.len()
+            )
+        };
+        let bound = nra_sql::bind(&parsed.first, &self.catalog)?;
+        let nr = match nra_core::auto_strategy(&bound) {
+            Strategy::PositiveRewrite => "positive rewrite (semijoin cascade)",
+            Strategy::BottomUpPushdown => "bottom-up with nest push-down",
+            Strategy::BottomUp => "bottom-up",
+            Strategy::Optimized => "single-sort pipelined cascade",
+            Strategy::Original => "Algorithm 1 (two-pass)",
+            Strategy::Auto => unreachable!("auto resolves to a concrete strategy"),
+        };
+        let baseline = nra_engine::baseline::describe(&bound, &self.catalog);
+        Ok(format!(
+            "nested relational: {nr}; baseline (System A): {baseline}{suffix}"
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nra_storage::{ColumnType, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "x",
+            vec![
+                Column::not_null("k", ColumnType::Int),
+                Column::new("v", ColumnType::Int),
+            ],
+            &["k"],
+        )
+        .unwrap();
+        db.insert(
+            "x",
+            vec![
+                vec![Value::Int(1), Value::Int(10)],
+                vec![Value::Int(2), Value::Null],
+            ],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_insert_query_roundtrip() {
+        let db = db();
+        let out = db.query("select k from x where v is not null").unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn engines_agree() {
+        let db = db();
+        let sql = "select k from x where v not in (select v from x x2 where x2.k <> x.k)";
+        let nr = db.query_with(sql, Engine::default()).unwrap();
+        let base = db.query_with(sql, Engine::Baseline).unwrap();
+        let oracle = db.query_with(sql, Engine::Reference).unwrap();
+        assert!(nr.multiset_eq(&oracle));
+        assert!(base.multiset_eq(&oracle));
+    }
+
+    #[test]
+    fn explain_mentions_both_engines() {
+        let db = db();
+        let s = db
+            .explain("select k from x where v in (select v from x x2)")
+            .unwrap();
+        assert!(s.contains("nested relational"));
+        assert!(s.contains("System A"));
+    }
+
+    #[test]
+    fn errors_are_surfaced() {
+        let mut db = db();
+        assert!(db.query("select nope from x").is_err());
+        assert!(db.query("not sql at all").is_err());
+        assert!(db
+            .insert("x", vec![vec![Value::Null, Value::Null]])
+            .is_err());
+        assert!(db.create_table("x", vec![], &[]).is_err());
+    }
+}

@@ -1,0 +1,122 @@
+//! Compound queries (`UNION`/`INTERSECT`/`EXCEPT [ALL]`) with `ORDER BY`
+//! and `LIMIT`, evaluated through the facade over the set-operation
+//! algebra.
+
+use nra::storage::{Column, ColumnType, Value};
+use nra::{Database, Engine, Strategy};
+
+fn db() -> Database {
+    let mut db = Database::new();
+    for name in ["t", "u"] {
+        db.create_table(
+            name,
+            vec![
+                Column::not_null("k", ColumnType::Int),
+                Column::new("v", ColumnType::Int),
+            ],
+            &["k"],
+        )
+        .unwrap();
+    }
+    db.insert(
+        "t",
+        vec![
+            vec![Value::Int(1), Value::Int(10)],
+            vec![Value::Int(2), Value::Int(20)],
+            vec![Value::Int(3), Value::Null],
+        ],
+    )
+    .unwrap();
+    db.insert(
+        "u",
+        vec![
+            vec![Value::Int(2), Value::Int(20)],
+            vec![Value::Int(4), Value::Int(40)],
+            vec![Value::Int(5), Value::Null],
+        ],
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn union_dedups_across_blocks() {
+    let out = db().query("select v from t union select v from u").unwrap();
+    // {10, 20, NULL, 40} — set semantics merge the NULLs and the 20s.
+    assert_eq!(out.len(), 4);
+}
+
+#[test]
+fn union_all_keeps_everything() {
+    let out = db()
+        .query("select v from t union all select v from u")
+        .unwrap();
+    assert_eq!(out.len(), 6);
+}
+
+#[test]
+fn intersect_and_except() {
+    let db = db();
+    let i = db
+        .query("select k, v from t intersect select k, v from u")
+        .unwrap();
+    assert_eq!(i.len(), 1, "only (2, 20) is in both");
+    let e = db.query("select k from t except select k from u").unwrap();
+    assert_eq!(e.len(), 2, "k = 1 and 3");
+}
+
+#[test]
+fn order_by_and_limit() {
+    let out = db()
+        .query("select k, v from t order by v desc limit 2")
+        .unwrap();
+    assert_eq!(out.len(), 2);
+    assert_eq!(out.rows()[0][1], Value::Int(20), "descending: 20 first");
+    // Positional ORDER BY.
+    let by_pos = db().query("select k, v from t order by 1 desc").unwrap();
+    assert_eq!(by_pos.rows()[0][0], Value::Int(3));
+    // Ascending puts NULL first (total order).
+    let asc = db().query("select v from t order by v").unwrap();
+    assert!(asc.rows()[0][0].is_null());
+}
+
+#[test]
+fn compound_arms_can_hold_subqueries() {
+    let db = db();
+    let sql = "select k from t where v > all (select v from u where u.k = t.k) \
+               union select k from u where not exists \
+                 (select * from t t2 where t2.k = u.k)";
+    let oracle = db.query_with(sql, Engine::Reference).unwrap();
+    for engine in [
+        Engine::Baseline,
+        Engine::NestedRelational(Strategy::Original),
+        Engine::NestedRelational(Strategy::Optimized),
+    ] {
+        let got = db.query_with(sql, engine).unwrap();
+        assert!(got.multiset_eq(&oracle), "{engine:?}");
+    }
+}
+
+#[test]
+fn errors_surface() {
+    let db = db();
+    assert!(
+        db.query("select k, v from t union select k from u")
+            .is_err(),
+        "arity"
+    );
+    assert!(db.query("select k from t order by nope").is_err());
+    assert!(db.query("select k from t limit -1").is_err());
+    // prepare() remains single-block only.
+    assert!(db.prepare("select k from t union select k from u").is_err());
+}
+
+#[test]
+fn display_roundtrip_compound() {
+    let q = nra_sql::parse_query(
+        "select k from t union all select k from u order by k desc, v limit 3",
+    )
+    .unwrap();
+    let again = nra_sql::parse_query(&q.to_string()).unwrap();
+    assert_eq!(q, again);
+}

@@ -1,0 +1,63 @@
+//! End-to-end CSV/tbl round-trip: export generated TPC-H tables, reload
+//! them into a fresh catalog, and verify a benchmark query returns the
+//! same answer — the path a user with real `dbgen` output would take.
+
+use std::io::BufReader;
+
+use nra::storage::csv::{read_rows, write_relation, CsvOptions};
+use nra::{Database, Engine};
+use nra_tpch::{generate, q1_sql, tables, TpchConfig};
+
+#[test]
+fn tpch_roundtrip_through_csv_files() {
+    let cat = generate(&TpchConfig::scaled(0.005));
+    let dir = std::env::temp_dir().join(format!("nra_csv_roundtrip_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Export orders and lineitem in the dbgen-style dialect.
+    let opts = CsvOptions::tbl();
+    for name in ["orders", "lineitem"] {
+        let path = dir.join(format!("{name}.tbl"));
+        let file = std::fs::File::create(&path).unwrap();
+        write_relation(file, cat.table(name).unwrap().data(), &opts).unwrap();
+    }
+
+    // Reload into a fresh catalog built from the schema definitions.
+    let mut fresh = nra_storage::Catalog::new();
+    fresh.add_table(tables::orders(true)).unwrap();
+    fresh.add_table(tables::lineitem(true)).unwrap();
+    for name in ["orders", "lineitem"] {
+        let path = dir.join(format!("{name}.tbl"));
+        let file = std::fs::File::open(&path).unwrap();
+        let schema = fresh.table(name).unwrap().schema().clone();
+        let rows = read_rows(BufReader::new(file), &schema, &opts).unwrap();
+        fresh.table_mut(name).unwrap().insert_many(rows).unwrap();
+    }
+
+    assert_eq!(
+        fresh.table("lineitem").unwrap().len(),
+        cat.table("lineitem").unwrap().len()
+    );
+
+    // The same query over original and round-tripped data must agree.
+    let sql = q1_sql(&cat, 60);
+    let original = Database::from_catalog(cat);
+    let reloaded = Database::from_catalog(fresh);
+    let a = original.query_with(&sql, Engine::default()).unwrap();
+    let b = reloaded.query_with(&sql, Engine::default()).unwrap();
+    assert!(a.multiset_eq(&b), "round-tripped data changed the answer");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn csv_dialect_roundtrip_preserves_values_exactly() {
+    let cat = generate(&TpchConfig::scaled(0.003).nullable_links(0.3));
+    let part = cat.table("part").unwrap().data();
+    let mut buf = Vec::new();
+    write_relation(&mut buf, part, &CsvOptions::default()).unwrap();
+    let back = read_rows(buf.as_slice(), part.schema(), &CsvOptions::default()).unwrap();
+    assert_eq!(back.len(), part.len());
+    let reloaded = nra::storage::Relation::with_rows(part.schema().clone(), back);
+    assert!(reloaded.multiset_eq(part), "values drifted through CSV");
+}

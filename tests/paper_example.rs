@@ -1,0 +1,143 @@
+//! Golden tests on the paper's Section 2 running example: Query Q over
+//! R(A,B,C,D), S(E,F,G,H,I), T(J,K,L), evaluated by every engine and
+//! strategy, checked against the hand-derived answer.
+
+use nra::{Database, Engine, Strategy};
+use nra_storage::{Relation, Schema, Value};
+use nra_tpch::paper_example::{expected_query_q_result, rst_catalog, QUERY_Q};
+
+fn expected_relation(sample: &Relation) -> Relation {
+    Relation::with_rows(
+        Schema::new(sample.schema().columns().to_vec()),
+        expected_query_q_result(),
+    )
+}
+
+#[test]
+fn query_q_all_engines_and_strategies() {
+    let db = Database::from_catalog(rst_catalog());
+    let engines: Vec<(&str, Engine)> = vec![
+        ("oracle", Engine::Reference),
+        ("baseline", Engine::Baseline),
+        ("nr-original", Engine::NestedRelational(Strategy::Original)),
+        (
+            "nr-optimized",
+            Engine::NestedRelational(Strategy::Optimized),
+        ),
+        ("nr-auto", Engine::NestedRelational(Strategy::Auto)),
+    ];
+    for (name, engine) in engines {
+        let got = db.query_with(QUERY_Q, engine).unwrap();
+        let want = expected_relation(&got);
+        assert!(
+            got.multiset_eq(&want),
+            "{name} disagrees with the hand-derived answer:\ngot\n{got}\nwant\n{want}"
+        );
+    }
+}
+
+#[test]
+fn query_q_explain_reports_nested_iteration_baseline() {
+    // Query Q has negative links (NOT IN, ALL) and non-adjacent
+    // correlation: System A cannot unnest it.
+    let db = Database::from_catalog(rst_catalog());
+    let plan = db.explain(QUERY_Q).unwrap();
+    assert!(plan.contains("nested iteration"), "plan was: {plan}");
+}
+
+/// The Section 2 NULL example: with `R.A = 5` and the subquery returning
+/// `{2, 3, 4, NULL}`, `R.A > ALL (...)` is *unknown* — not true — so the
+/// antijoin rewrite (`no S.B with R.A <= S.B`) would wrongly keep the row.
+#[test]
+fn section2_null_example_gt_all() {
+    let mut db = Database::new();
+    use nra_storage::{Column, ColumnType};
+    db.create_table("ra", vec![Column::not_null("a", ColumnType::Int)], &["a"])
+        .unwrap();
+    db.insert("ra", vec![vec![Value::Int(5)]]).unwrap();
+    db.create_table("sb", vec![Column::new("b", ColumnType::Int)], &[])
+        .unwrap();
+    db.insert(
+        "sb",
+        vec![
+            vec![Value::Int(2)],
+            vec![Value::Int(3)],
+            vec![Value::Int(4)],
+            vec![Value::Null],
+        ],
+    )
+    .unwrap();
+
+    for engine in [
+        Engine::Reference,
+        Engine::Baseline,
+        Engine::NestedRelational(Strategy::Original),
+        Engine::NestedRelational(Strategy::Optimized),
+        Engine::NestedRelational(Strategy::Auto),
+    ] {
+        let out = db
+            .query_with("select a from ra where a > all (select b from sb)", engine)
+            .unwrap();
+        assert_eq!(
+            out.len(),
+            0,
+            "5 > ALL {{2,3,4,NULL}} must be unknown, engine {engine:?}"
+        );
+    }
+
+    // ... and it is also not equal to `> (select max(b) ...)`: remove the
+    // NULL and the row qualifies.
+    let mut db2 = Database::new();
+    use nra_storage::{Column as C2, ColumnType as CT2};
+    db2.create_table("ra", vec![C2::not_null("a", CT2::Int)], &["a"])
+        .unwrap();
+    db2.insert("ra", vec![vec![Value::Int(5)]]).unwrap();
+    db2.create_table("sb", vec![C2::new("b", CT2::Int)], &[])
+        .unwrap();
+    db2.insert(
+        "sb",
+        vec![
+            vec![Value::Int(2)],
+            vec![Value::Int(3)],
+            vec![Value::Int(4)],
+        ],
+    )
+    .unwrap();
+    let out = db2
+        .query("select a from ra where a > all (select b from sb)")
+        .unwrap();
+    assert_eq!(out.len(), 1);
+}
+
+/// NOT IN against a set containing NULL rejects everything — the other
+/// direction of the antijoin pitfall.
+#[test]
+fn not_in_with_null_rejects_all() {
+    let db = Database::from_catalog(rst_catalog());
+    // t.j contains a NULL: `b not in (select j from t)` can never be true.
+    for engine in [
+        Engine::Reference,
+        Engine::Baseline,
+        Engine::NestedRelational(Strategy::Optimized),
+    ] {
+        let out = db
+            .query_with("select b from r where b not in (select j from t)", engine)
+            .unwrap();
+        assert_eq!(out.len(), 0, "engine {engine:?}");
+    }
+}
+
+/// Empty subquery results: `ALL` is vacuously true, `SOME` vacuously
+/// false, even for NULL outer values.
+#[test]
+fn empty_set_quantifier_semantics() {
+    let db = Database::from_catalog(rst_catalog());
+    let all = db
+        .query("select d from r where b > all (select e from s where s.f = 999)")
+        .unwrap();
+    assert_eq!(all.len(), 4, "every r row qualifies, including b = NULL");
+    let some = db
+        .query("select d from r where b > some (select e from s where s.f = 999)")
+        .unwrap();
+    assert_eq!(some.len(), 0);
+}

@@ -1,0 +1,254 @@
+//! Property-based agreement tests: random small databases (with NULLs)
+//! and randomly shaped nested queries; every execution strategy must match
+//! the tuple-iteration oracle.
+
+use proptest::prelude::*;
+
+use nra::{Database, Engine, Strategy as NraStrategy};
+use nra_storage::{Column, ColumnType, Value};
+
+/// A cell: small domain so joins actually match; `None` is NULL.
+fn cell() -> impl proptest::strategy::Strategy<Value = Option<i64>> {
+    prop_oneof![
+        8 => (0i64..5).prop_map(Some),
+        1 => Just(None),
+    ]
+}
+
+fn rows() -> impl proptest::strategy::Strategy<Value = Vec<(Option<i64>, Option<i64>)>> {
+    proptest::collection::vec((cell(), cell()), 0..10)
+}
+
+fn to_value(v: Option<i64>) -> Value {
+    match v {
+        Some(i) => Value::Int(i),
+        None => Value::Null,
+    }
+}
+
+/// A randomly chosen linking predicate, rendered into SQL.
+#[derive(Debug, Clone, Copy)]
+enum Link {
+    Exists,
+    NotExists,
+    In,
+    NotIn,
+    Quant(&'static str, &'static str),
+    /// Aggregate-subquery comparison: `outer op agg(inner)`.
+    Agg(&'static str, &'static str),
+}
+
+fn link() -> impl proptest::strategy::Strategy<Value = Link> {
+    let op = || proptest::sample::select(vec!["<", "<=", ">", ">=", "=", "<>"]);
+    prop_oneof![
+        Just(Link::Exists),
+        Just(Link::NotExists),
+        Just(Link::In),
+        Just(Link::NotIn),
+        op().prop_flat_map(|op| {
+            proptest::sample::select(vec!["some", "all"]).prop_map(move |q| Link::Quant(op, q))
+        }),
+        op().prop_flat_map(|op| {
+            proptest::sample::select(vec!["min", "max", "sum", "avg", "count"])
+                .prop_map(move |f| Link::Agg(op, f))
+        }),
+    ]
+}
+
+impl Link {
+    /// `"{outer} LINK (select {inner} from ... where {body})"`.
+    fn render(self, outer: &str, inner: &str, from: &str, body: &str) -> String {
+        match self {
+            Link::Exists => format!("exists (select * from {from} where {body})"),
+            Link::NotExists => format!("not exists (select * from {from} where {body})"),
+            Link::In => format!("{outer} in (select {inner} from {from} where {body})"),
+            Link::NotIn => format!("{outer} not in (select {inner} from {from} where {body})"),
+            Link::Quant(op, q) => {
+                format!("{outer} {op} {q} (select {inner} from {from} where {body})")
+            }
+            Link::Agg(op, f) => {
+                format!("{outer} {op} (select {f}({inner}) from {from} where {body})")
+            }
+        }
+    }
+}
+
+/// Correlation shape of an inner block.
+#[derive(Debug, Clone, Copy)]
+enum Corr {
+    None,
+    /// Equality to the adjacent outer block.
+    AdjacentEq,
+    /// Non-equality to the adjacent outer block.
+    AdjacentNe,
+    /// Equality to the root block (non-adjacent for depth-2 blocks).
+    RootEq,
+}
+
+fn corr() -> impl proptest::strategy::Strategy<Value = Corr> {
+    prop_oneof![
+        1 => Just(Corr::None),
+        4 => Just(Corr::AdjacentEq),
+        2 => Just(Corr::AdjacentNe),
+        2 => Just(Corr::RootEq),
+    ]
+}
+
+fn db_from(
+    t0: &[(Option<i64>, Option<i64>)],
+    t1: &[(Option<i64>, Option<i64>)],
+    t2: &[(Option<i64>, Option<i64>)],
+) -> Database {
+    let mut db = Database::new();
+    for (name, cols, data) in [
+        ("t0", ("a", "b"), t0),
+        ("t1", ("c", "d"), t1),
+        ("t2", ("e", "f"), t2),
+    ] {
+        db.create_table(
+            name,
+            vec![
+                Column::new(cols.0, ColumnType::Int),
+                Column::new(cols.1, ColumnType::Int),
+            ],
+            &[],
+        )
+        .unwrap();
+        db.insert(
+            name,
+            data.iter()
+                .map(|&(x, y)| vec![to_value(x), to_value(y)])
+                .collect(),
+        )
+        .unwrap();
+    }
+    db
+}
+
+fn corr_sql(corr: Corr, inner_col: &str, outer_col: &str) -> Option<String> {
+    match corr {
+        Corr::None => None,
+        Corr::AdjacentEq | Corr::RootEq => Some(format!("{inner_col} = {outer_col}")),
+        Corr::AdjacentNe => Some(format!("{inner_col} <> {outer_col}")),
+    }
+}
+
+/// Compare every applicable strategy against the oracle on one query.
+fn check_all(db: &Database, sql: &str) {
+    let bound = match db.prepare(sql) {
+        Ok(b) => b,
+        Err(e) => panic!("query failed to bind: {sql}: {e}"),
+    };
+    let oracle = db.run(&bound, Engine::Reference).unwrap();
+
+    let mut engines: Vec<(&str, Engine)> = vec![
+        ("baseline", Engine::Baseline),
+        (
+            "nr-original",
+            Engine::NestedRelational(NraStrategy::Original),
+        ),
+        (
+            "nr-optimized",
+            Engine::NestedRelational(NraStrategy::Optimized),
+        ),
+        ("nr-auto", Engine::NestedRelational(NraStrategy::Auto)),
+    ];
+    if bound.is_linear_correlated() {
+        engines.push((
+            "nr-bottom-up",
+            Engine::NestedRelational(NraStrategy::BottomUp),
+        ));
+        engines.push((
+            "nr-pushdown",
+            Engine::NestedRelational(NraStrategy::BottomUpPushdown),
+        ));
+    }
+    if bound.all_links_positive() && bound.root.block_count() > 1 {
+        engines.push((
+            "nr-positive",
+            Engine::NestedRelational(NraStrategy::PositiveRewrite),
+        ));
+    }
+
+    for (name, engine) in engines {
+        let got = db.run(&bound, engine).unwrap();
+        assert!(
+            got.multiset_eq(&oracle),
+            "{name} disagrees with oracle on {sql}\ngot:\n{got}\noracle:\n{oracle}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// One-level nested queries: every link operator × correlation shape.
+    #[test]
+    fn one_level_queries_agree(
+        t0 in rows(), t1 in rows(),
+        lk in link(), cr in corr(),
+        with_local in any::<bool>(),
+    ) {
+        let db = db_from(&t0, &t1, &[]);
+        let mut body_parts = Vec::new();
+        if let Some(c) = corr_sql(cr, "t1.c", "t0.a") {
+            body_parts.push(c);
+        }
+        if with_local {
+            body_parts.push("t1.d >= 1".to_string());
+        }
+        if body_parts.is_empty() {
+            body_parts.push("1 = 1".to_string());
+        }
+        let sql = format!(
+            "select a, b from t0 where {}",
+            lk.render("t0.b", "t1.d", "t1", &body_parts.join(" and "))
+        );
+        check_all(&db, &sql);
+    }
+
+    /// Two-level chains: link × link × correlation (including non-adjacent
+    /// correlation back to the root, the paper's Query Q / Query 3 shape).
+    #[test]
+    fn two_level_queries_agree(
+        t0 in rows(), t1 in rows(), t2 in rows(),
+        lk1 in link(), lk2 in link(),
+        cr1 in corr(), cr2 in corr(),
+    ) {
+        let db = db_from(&t0, &t1, &t2);
+        let inner_corr = match cr2 {
+            Corr::RootEq => corr_sql(cr2, "t2.e", "t0.a"),
+            other => corr_sql(other, "t2.e", "t1.c"),
+        };
+        let inner_body = inner_corr.unwrap_or_else(|| "1 = 1".to_string());
+        let inner = lk2.render("t1.d", "t2.f", "t2", &inner_body);
+        let mid_corr = corr_sql(cr1, "t1.c", "t0.a");
+        let mid_body = match mid_corr {
+            Some(c) => format!("{c} and {inner}"),
+            None => inner,
+        };
+        let sql = format!(
+            "select a, b from t0 where {}",
+            lk1.render("t0.b", "t1.d", "t1", &mid_body)
+        );
+        check_all(&db, &sql);
+    }
+
+    /// Tree queries: two subqueries hanging off the root.
+    #[test]
+    fn tree_queries_agree(
+        t0 in rows(), t1 in rows(), t2 in rows(),
+        lk1 in link(), lk2 in link(),
+        cr1 in corr(), cr2 in corr(),
+    ) {
+        let db = db_from(&t0, &t1, &t2);
+        let b1 = corr_sql(cr1, "t1.c", "t0.a").unwrap_or_else(|| "1 = 1".to_string());
+        let b2 = corr_sql(cr2, "t2.e", "t0.b").unwrap_or_else(|| "1 = 1".to_string());
+        let sql = format!(
+            "select a, b from t0 where {} and {}",
+            lk1.render("t0.b", "t1.d", "t1", &b1),
+            lk2.render("t0.a", "t2.f", "t2", &b2)
+        );
+        check_all(&db, &sql);
+    }
+}
