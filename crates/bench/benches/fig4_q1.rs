@@ -1,29 +1,24 @@
 //! Figure 4 — Query 1 (`> ALL`, one level), outer block sweep.
 //!
-//! Criterion measures pure CPU time of each series (the simulated-I/O
+//! The harness measures pure CPU time of each series (the simulated-I/O
 //! figures that reproduce the paper's disk-bound shape come from the
 //! `experiments` binary). Data scale via `NRA_BENCH_SCALE` (default 0.05).
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nra_bench::harness;
 use nra_bench::*;
 
-fn fig4(c: &mut Criterion) {
+fn main() {
     let scale = bench_scale();
     // The paper's Figure 4 drops the NOT NULL constraint (forcing the
     // native plan into nested iteration).
     let cat = bench_catalog_nullable(scale);
     let grid = paper_grid(scale);
-    let mut g = c.benchmark_group("fig4_q1");
-    g.sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(1));
+    let mut g = harness::group("fig4_q1");
     for &outer in &grid.q1_outer {
         let pq = PreparedQuery::new(&cat, q1_sql(&cat, outer)).unwrap();
         for series in Series::ALL {
-            g.bench_with_input(BenchmarkId::new(series.label(), outer), &pq, |b, pq| {
-                b.iter(|| pq.run(series).unwrap());
+            g.bench(series.label(), outer, || {
+                harness::black_box(pq.run(series).unwrap());
             });
         }
     }
@@ -31,19 +26,13 @@ fn fig4(c: &mut Criterion) {
 
     // In-text ablation: with NOT NULL, the native plan is an antijoin.
     let strict = bench_catalog(scale);
-    let mut g = c.benchmark_group("fig4_q1_not_null");
-    g.sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(1));
+    let mut g = harness::group("fig4_q1_not_null");
     let outer = *grid.q1_outer.last().unwrap();
     let pq = PreparedQuery::new(&strict, q1_sql(&strict, outer)).unwrap();
     for series in Series::ALL {
-        g.bench_with_input(BenchmarkId::new(series.label(), outer), &pq, |b, pq| {
-            b.iter(|| pq.run(series).unwrap());
+        g.bench(series.label(), outer, || {
+            harness::black_box(pq.run(series).unwrap());
         });
     }
     g.finish();
 }
-
-criterion_group!(benches, fig4);
-criterion_main!(benches);

@@ -1,30 +1,22 @@
 //! Figure 5 — Query 2a (mixed `ANY`/`NOT EXISTS`, linear), first block
 //! sweep. Native plan: bottom-up semijoin + antijoin.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nra_bench::harness;
 use nra_bench::*;
 
-fn fig5(c: &mut Criterion) {
+fn main() {
     let scale = bench_scale();
     let cat = bench_catalog(scale);
     let grid = paper_grid(scale);
-    let mut g = c.benchmark_group("fig5_q2a");
-    g.sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(1));
+    let mut g = harness::group("fig5_q2a");
     for &part in &grid.q23_part {
         let pq =
             PreparedQuery::new(&cat, q2_sql(&cat, Quant::Any, part, grid.q23_partsupp)).unwrap();
         for series in Series::ALL {
-            g.bench_with_input(BenchmarkId::new(series.label(), part), &pq, |b, pq| {
-                b.iter(|| pq.run(series).unwrap());
+            g.bench(series.label(), part, || {
+                harness::black_box(pq.run(series).unwrap());
             });
         }
     }
     g.finish();
 }
-
-criterion_group!(benches, fig5);
-criterion_main!(benches);

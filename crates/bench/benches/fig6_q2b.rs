@@ -2,30 +2,22 @@
 //! sweep. The NOT NULL constraint is dropped, so the native plan falls
 //! back to nested iteration for the `ALL` level.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nra_bench::harness;
 use nra_bench::*;
 
-fn fig6(c: &mut Criterion) {
+fn main() {
     let scale = bench_scale();
     let cat = bench_catalog_nullable(scale);
     let grid = paper_grid(scale);
-    let mut g = c.benchmark_group("fig6_q2b");
-    g.sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(1));
+    let mut g = harness::group("fig6_q2b");
     for &part in &grid.q23_part {
         let pq =
             PreparedQuery::new(&cat, q2_sql(&cat, Quant::All, part, grid.q23_partsupp)).unwrap();
         for series in Series::ALL {
-            g.bench_with_input(BenchmarkId::new(series.label(), part), &pq, |b, pq| {
-                b.iter(|| pq.run(series).unwrap());
+            g.bench(series.label(), part, || {
+                harness::black_box(pq.run(series).unwrap());
             });
         }
     }
     g.finish();
 }
-
-criterion_group!(benches, fig6);
-criterion_main!(benches);

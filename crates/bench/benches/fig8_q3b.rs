@@ -1,12 +1,10 @@
 //! Figure 8 — Query q3b, the three correlated-predicate variants
 //! (a/b/c), first block sweep.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nra_bench::harness;
 use nra_bench::*;
 
-fn fig8(c: &mut Criterion) {
+fn main() {
     let scale = bench_scale();
     let cat = bench_catalog(scale);
     let grid = paper_grid(scale);
@@ -16,10 +14,7 @@ fn fig8(c: &mut Criterion) {
             Q3Corr::NeEq => "b",
             Q3Corr::EqNe => "c",
         };
-        let mut g = c.benchmark_group(format!("fig8{variant}_q3b"));
-        g.sample_size(10)
-            .warm_up_time(Duration::from_millis(300))
-            .measurement_time(Duration::from_secs(1));
+        let mut g = harness::group(format!("fig8{variant}_q3b"));
         for &part in &grid.q23_part {
             let sql = q3_sql(
                 &cat,
@@ -31,14 +26,11 @@ fn fig8(c: &mut Criterion) {
             );
             let pq = PreparedQuery::new(&cat, sql).unwrap();
             for series in Series::ALL {
-                g.bench_with_input(BenchmarkId::new(series.label(), part), &pq, |b, pq| {
-                    b.iter(|| pq.run(series).unwrap());
+                g.bench(series.label(), part, || {
+                    harness::black_box(pq.run(series).unwrap());
                 });
             }
         }
         g.finish();
     }
 }
-
-criterion_group!(benches, fig8);
-criterion_main!(benches);

@@ -6,40 +6,28 @@
 //! The two stages are isolated by benchmarking the full strategy and the
 //! shared join phase separately; their difference is the processing cost.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nra_bench::harness;
 use nra_bench::*;
 use nra_core::optimize::pipeline::unnest_join_phase;
 
-fn nr_processing(c: &mut Criterion) {
+fn main() {
     let scale = bench_scale();
     let cat = bench_catalog(scale);
     let grid = paper_grid(scale);
-    let mut g = c.benchmark_group("nr_processing_q1");
-    g.sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(1));
+    let mut g = harness::group("nr_processing_q1");
     for &outer in &grid.q1_outer {
         let sql = q1_sql(&cat, outer);
         let bound = nra_sql::parse_and_bind(&sql, &cat).unwrap();
         let rows = unnest_join_phase(&bound, &cat).unwrap().len();
-        g.bench_with_input(BenchmarkId::new("join-phase", rows), &bound, |b, bq| {
-            b.iter(|| unnest_join_phase(bq, &cat).unwrap());
+        g.bench("join-phase", rows, || {
+            harness::black_box(unnest_join_phase(&bound, &cat).unwrap());
         });
-        g.bench_with_input(BenchmarkId::new("original-total", rows), &bound, |b, bq| {
-            b.iter(|| nra_core::execute_original(bq, &cat).unwrap());
+        g.bench("original-total", rows, || {
+            harness::black_box(nra_core::execute_original(&bound, &cat).unwrap());
         });
-        g.bench_with_input(
-            BenchmarkId::new("optimized-total", rows),
-            &bound,
-            |b, bq| {
-                b.iter(|| nra_core::execute_optimized(bq, &cat).unwrap());
-            },
-        );
+        g.bench("optimized-total", rows, || {
+            harness::black_box(nra_core::execute_optimized(&bound, &cat).unwrap());
+        });
     }
     g.finish();
 }
-
-criterion_group!(benches, nr_processing);
-criterion_main!(benches);

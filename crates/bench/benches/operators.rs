@@ -2,19 +2,16 @@
 //! vs sort), linking selection (two-pass vs fused) and the hash joins the
 //! approach is built on.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nra_bench::harness;
 use nra_core::linking::{LinkSelection, SetQuant};
 use nra_core::nest::{nest_hash_idx, nest_sort_idx};
 use nra_core::optimize::fused::{fused_nest_select, FusedLink};
 use nra_engine::{join, JoinKind, JoinSpec};
+use nra_storage::rng::Pcg32;
 use nra_storage::{CmpOp, Column, ColumnType, Relation, Schema, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn flat_relation(groups: usize, per_group: usize) -> Relation {
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = Pcg32::new(7);
     let schema = Schema::new(vec![
         Column::new("g.a", ColumnType::Int),
         Column::new("g.k", ColumnType::Int),
@@ -25,9 +22,9 @@ fn flat_relation(groups: usize, per_group: usize) -> Relation {
     for g in 0..groups as i64 {
         for m in 0..per_group as i64 {
             rows.push(vec![
-                Value::Int(rng.gen_range(0..1000)),
+                Value::Int(rng.range_i64(0, 1000)),
                 Value::Int(g),
-                Value::Int(rng.gen_range(0..1000)),
+                Value::Int(rng.range_i64(0, 1000)),
                 Value::Int(g * per_group as i64 + m),
             ]);
         }
@@ -35,46 +32,38 @@ fn flat_relation(groups: usize, per_group: usize) -> Relation {
     Relation::with_rows(schema, rows)
 }
 
-fn operators(c: &mut Criterion) {
-    let mut g = c.benchmark_group("operators");
-    g.sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(1));
+fn main() {
+    let mut g = harness::group("operators");
 
     for &(groups, per) in &[(2_000usize, 4usize), (20_000, 4)] {
         let rel = flat_relation(groups, per);
         let rows = rel.len();
-        g.bench_with_input(BenchmarkId::new("nest-hash", rows), &rel, |b, rel| {
-            b.iter(|| nest_hash_idx(rel, &[1], &[2, 3], "s"));
+        g.bench("nest-hash", rows, || {
+            harness::black_box(nest_hash_idx(&rel, &[1], &[2, 3], "s"));
         });
-        g.bench_with_input(BenchmarkId::new("nest-sort", rows), &rel, |b, rel| {
-            b.iter(|| nest_sort_idx(rel, &[1], &[2, 3], "s"));
+        g.bench("nest-sort", rows, || {
+            harness::black_box(nest_sort_idx(&rel, &[1], &[2, 3], "s"));
         });
         let sel = LinkSelection::quant("g.a", CmpOp::Gt, SetQuant::All, "m.v", Some("m.rid"));
-        g.bench_with_input(BenchmarkId::new("two-pass-select", rows), &rel, |b, rel| {
-            b.iter(|| {
-                let nested = nest_sort_idx(rel, &[0, 1], &[2, 3], "s");
-                sel.select(&nested, "s").unwrap().atoms_as_relation()
-            });
+        g.bench("two-pass-select", rows, || {
+            let nested = nest_sort_idx(&rel, &[0, 1], &[2, 3], "s");
+            harness::black_box(sel.select(&nested, "s").unwrap().atoms_as_relation());
         });
         let link = FusedLink::from_selection(&sel, rel.schema(), &[0, 1]).unwrap();
-        g.bench_with_input(BenchmarkId::new("fused-select", rows), &rel, |b, rel| {
-            b.iter(|| fused_nest_select(rel, &[0, 1], link.clone(), false, &[]));
+        g.bench("fused-select", rows, || {
+            harness::black_box(fused_nest_select(&rel, &[0, 1], link.clone(), false, &[]));
         });
         // Hash joins: self outer join on the group key.
-        g.bench_with_input(BenchmarkId::new("left-outer-join", rows), &rel, |b, rel| {
-            b.iter(|| {
+        g.bench("left-outer-join", rows, || {
+            harness::black_box(
                 join(
-                    rel,
-                    rel,
+                    &rel,
+                    &rel,
                     &JoinSpec::new(JoinKind::LeftOuter, vec![(1, 1)], None),
                 )
-                .unwrap()
-            });
+                .unwrap(),
+            );
         });
     }
     g.finish();
 }
-
-criterion_group!(benches, operators);
-criterion_main!(benches);

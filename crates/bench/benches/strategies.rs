@@ -2,13 +2,11 @@
 //! the paper's Query 2b — the design-choice comparison DESIGN.md calls
 //! out: two-pass vs fused, top-down vs bottom-up, nest push-down.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nra_bench::harness;
 use nra_bench::*;
 use nra_core::Strategy;
 
-fn strategies(c: &mut Criterion) {
+fn main() {
     let scale = bench_scale();
     let cat = bench_catalog(scale);
     let grid = paper_grid(scale);
@@ -16,18 +14,15 @@ fn strategies(c: &mut Criterion) {
     let sql = q2_sql(&cat, Quant::All, part, grid.q23_partsupp);
     let bound = nra_sql::parse_and_bind(&sql, &cat).unwrap();
 
-    let mut g = c.benchmark_group("strategies_q2b");
-    g.sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(1));
+    let mut g = harness::group("strategies_q2b");
     for (name, strategy) in [
         ("original", Strategy::Original),
         ("optimized", Strategy::Optimized),
         ("bottom-up", Strategy::BottomUp),
         ("bottom-up-pushdown", Strategy::BottomUpPushdown),
     ] {
-        g.bench_with_input(BenchmarkId::new(name, part), &bound, |b, bq| {
-            b.iter(|| nra_core::execute(bq, &cat, strategy).unwrap());
+        g.bench(name, part, || {
+            harness::black_box(nra_core::execute(&bound, &cat, strategy).unwrap());
         });
     }
     g.finish();
@@ -35,20 +30,14 @@ fn strategies(c: &mut Criterion) {
     // The positive rewrite, on the positive variant of the query.
     let sql = q2_sql(&cat, Quant::Any, part, grid.q23_partsupp).replace("not exists", "exists");
     let bound = nra_sql::parse_and_bind(&sql, &cat).unwrap();
-    let mut g = c.benchmark_group("strategies_q2_positive");
-    g.sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(1));
+    let mut g = harness::group("strategies_q2_positive");
     for (name, strategy) in [
         ("optimized", Strategy::Optimized),
         ("positive-rewrite", Strategy::PositiveRewrite),
     ] {
-        g.bench_with_input(BenchmarkId::new(name, part), &bound, |b, bq| {
-            b.iter(|| nra_core::execute(bq, &cat, strategy).unwrap());
+        g.bench(name, part, || {
+            harness::black_box(nra_core::execute(&bound, &cat, strategy).unwrap());
         });
     }
     g.finish();
 }
-
-criterion_group!(benches, strategies);
-criterion_main!(benches);

@@ -26,6 +26,9 @@ use nra_storage::Catalog;
 struct Args {
     scale: f64,
     reps: usize,
+    /// Write `BENCH_*.json` per-operator execution profiles
+    /// (`--profile`, or the `NRA_OBS=1` environment variable).
+    profile: bool,
     figures: Vec<String>,
 }
 
@@ -33,6 +36,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         scale: 0.5,
         reps: 3,
+        profile: std::env::var("NRA_OBS").is_ok_and(|v| v == "1"),
         figures: vec![],
     };
     let mut it = std::env::args().skip(1);
@@ -50,6 +54,7 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .expect("--reps takes an integer")
             }
+            "--profile" => args.profile = true,
             other => args.figures.push(other.to_string()),
         }
     }
@@ -325,4 +330,47 @@ fn main() {
     if wanted(&args, "ext-agg") {
         ext_agg(&strict, &args);
     }
+    if args.profile {
+        write_profiles(&strict, &nullable, &args);
+    }
+}
+
+/// Write per-operator execution profiles for the headline queries: every
+/// series runs once under the observability collector + I/O simulator, and
+/// the artifact lands as `BENCH_<name>.json` in the working directory.
+fn write_profiles(strict: &Catalog, nullable: &Catalog, args: &Args) {
+    let grid = paper_grid(args.scale);
+    let q1_outer = *grid.q1_outer.last().unwrap();
+    let queries: Vec<(&str, &Catalog, String)> = vec![
+        ("Q1", nullable, q1_sql(nullable, q1_outer)),
+        (
+            "Q2A",
+            strict,
+            q2_sql(
+                strict,
+                Quant::Any,
+                *grid.q23_part.last().unwrap(),
+                grid.q23_partsupp,
+            ),
+        ),
+        (
+            "Q2B",
+            nullable,
+            q2_sql(
+                nullable,
+                Quant::All,
+                *grid.q23_part.last().unwrap(),
+                grid.q23_partsupp,
+            ),
+        ),
+    ];
+    let dir = std::env::current_dir().expect("cwd");
+    println!("### Execution profiles\n");
+    for (name, cat, sql) in queries {
+        let pq = PreparedQuery::new(cat, sql).unwrap();
+        let qp = profile::QueryProfile::collect(name, &pq, args.scale);
+        let path = qp.write_to(&dir).expect("write profile artifact");
+        println!("- wrote {}", path.display());
+    }
+    println!();
 }

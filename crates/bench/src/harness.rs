@@ -1,0 +1,96 @@
+//! Minimal timing harness for the figure benches.
+//!
+//! Replaces criterion so the `[[bench]]` targets resolve and run with no
+//! network access. Semantics are deliberately simple: per benchmark, a
+//! short warm-up, then repeated timed runs until a measurement budget is
+//! spent, reporting mean / min over the runs. The criterion-era knobs
+//! (sample size, warm-up and measurement time) keep their defaults from
+//! the old benches.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// A named group of benchmarks, printed as a markdown-ish block.
+pub struct Group {
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    min_runs: usize,
+}
+
+/// Start a benchmark group (criterion's `benchmark_group`).
+pub fn group(name: impl Into<String>) -> Group {
+    let name = name.into();
+    println!("\n## {name}");
+    Group {
+        name,
+        warm_up: Duration::from_millis(300),
+        measurement: Duration::from_secs(1),
+        min_runs: 10,
+    }
+}
+
+impl Group {
+    /// Benchmark one closure under `label/param`, printing mean and min.
+    pub fn bench(&mut self, label: &str, param: impl std::fmt::Display, mut f: impl FnMut()) {
+        // Warm-up: run until the warm-up budget is spent (at least once).
+        let start = Instant::now();
+        while start.elapsed() < self.warm_up {
+            f();
+        }
+
+        let mut runs: Vec<Duration> = Vec::with_capacity(self.min_runs);
+        let budget = Instant::now();
+        while runs.len() < self.min_runs || budget.elapsed() < self.measurement {
+            let t = Instant::now();
+            f();
+            runs.push(t.elapsed());
+            if runs.len() >= 10_000 {
+                break;
+            }
+        }
+        let total: Duration = runs.iter().sum();
+        let mean = total / runs.len() as u32;
+        let min = runs.iter().min().copied().unwrap_or_default();
+        println!(
+            "{}/{label}/{param}: mean {} min {} ({} runs)",
+            self.name,
+            fmt_duration(mean),
+            fmt_duration(min),
+            runs.len()
+        );
+    }
+
+    /// Criterion-compat no-op: groups flush as they print.
+    pub fn finish(self) {}
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3}s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_the_closure() {
+        let mut g = group("harness_selftest");
+        g.warm_up = Duration::from_millis(1);
+        g.measurement = Duration::from_millis(5);
+        g.min_runs = 2;
+        let mut n = 0u64;
+        g.bench("noop", 0, || n += 1);
+        assert!(n >= 2);
+    }
+}

@@ -10,6 +10,9 @@
 //!   selection passes;
 //! * **NR-optimized** — the single-sort pipelined cascade.
 
+pub mod harness;
+pub mod profile;
+
 use std::time::{Duration, Instant};
 
 use nra_engine::baseline::nested_iter::NestedIterPlan;

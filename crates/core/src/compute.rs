@@ -240,6 +240,7 @@ pub fn edge_selection(
 /// The recursive body of Algorithm 1.
 fn compute(ctx: &Ctx<'_>, block: &QueryBlock, mut rel: Relation) -> Result<Relation, EngineError> {
     for edge in &block.children {
+        let _sc = nra_obs::scope(|| format!("b{}", edge.block.id));
         let child_rel = prepare_base(&edge.block, ctx.catalog)?;
 
         // Down: attach T_child with a left outer join on the correlated

@@ -231,13 +231,20 @@ impl LinkSelection {
     /// Linking selection `σ_C` over the subschema `sub`: keep tuples where
     /// the condition is `TRUE`.
     pub fn select(&self, rel: &NestedRelation, sub: &str) -> Result<NestedRelation, EngineError> {
+        let mut sp = nra_obs::span(|| "link".to_string());
+        sp.rows_in(rel.len());
         let r = self.resolve(rel, sub)?;
-        let tuples = rel
+        let tuples: Vec<crate::nested::NestedTuple> = rel
             .tuples
             .iter()
-            .filter(|t| self.eval_tuple(&r, t) == Truth::True)
+            .filter(|t| {
+                let truth = self.eval_tuple(&r, t);
+                sp.outcome(truth);
+                truth == Truth::True
+            })
             .cloned()
             .collect();
+        sp.rows_out(tuples.len());
         Ok(NestedRelation {
             schema: rel.schema.clone(),
             tuples,
@@ -253,6 +260,8 @@ impl LinkSelection {
         sub: &str,
         pad: &[&str],
     ) -> Result<NestedRelation, EngineError> {
+        let mut sp = nra_obs::span(|| "link".to_string());
+        sp.rows_in(rel.len());
         let r = self.resolve(rel, sub)?;
         let pad_idx: Vec<usize> = pad
             .iter()
@@ -262,13 +271,16 @@ impl LinkSelection {
                     .ok_or_else(|| EngineError::Column((*p).to_string()))
             })
             .collect::<Result<_, _>>()?;
-        let tuples = rel
+        let tuples: Vec<crate::nested::NestedTuple> = rel
             .tuples
             .iter()
             .map(|t| {
-                if self.eval_tuple(&r, t) == Truth::True {
+                let truth = self.eval_tuple(&r, t);
+                sp.outcome(truth);
+                if truth == Truth::True {
                     t.clone()
                 } else {
+                    sp.padded(1);
                     let mut padded = t.clone();
                     for &i in &pad_idx {
                         padded.atoms[i] = Value::Null;
@@ -277,6 +289,7 @@ impl LinkSelection {
                 }
             })
             .collect();
+        sp.rows_out(tuples.len());
         Ok(NestedRelation {
             schema: rel.schema.clone(),
             tuples,
@@ -286,8 +299,20 @@ impl LinkSelection {
     /// Evaluate the condition per tuple, returning the truth vector (used
     /// by the fused/pipelined executors and by tests).
     pub fn truths(&self, rel: &NestedRelation, sub: &str) -> Result<Vec<Truth>, EngineError> {
+        let mut sp = nra_obs::span(|| "link".to_string());
+        sp.rows_in(rel.len());
         let r = self.resolve(rel, sub)?;
-        Ok(rel.tuples.iter().map(|t| self.eval_tuple(&r, t)).collect())
+        let out: Vec<Truth> = rel
+            .tuples
+            .iter()
+            .map(|t| {
+                let truth = self.eval_tuple(&r, t);
+                sp.outcome(truth);
+                truth
+            })
+            .collect();
+        sp.rows_out(out.len());
+        Ok(out)
     }
 }
 

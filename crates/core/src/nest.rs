@@ -36,6 +36,8 @@ fn resolve_all(schema: &Schema, names: &[&str]) -> Result<Vec<usize>, EngineErro
 /// Nest by column indices, hash-based grouping. Group order follows first
 /// occurrence; member order follows input order.
 pub fn nest_hash_idx(rel: &Relation, n1: &[usize], n2: &[usize], sub: &str) -> NestedRelation {
+    let mut sp = nra_obs::span(|| "nest[hash]".to_string());
+    sp.rows_in(rel.len());
     let schema = NestedSchema {
         atoms: n1.iter().map(|&i| rel.schema().column(i).clone()).collect(),
         subs: vec![(
@@ -59,16 +61,18 @@ pub fn nest_hash_idx(rel: &Relation, n1: &[usize], n2: &[usize], sub: &str) -> N
             }
         }
     }
-    let tuples = order
+    let tuples: Vec<NestedTuple> = order
         .into_iter()
         .map(|key| {
             let set = groups.remove(&key).unwrap();
+            sp.group(set.len());
             NestedTuple {
                 atoms: key.0,
                 sets: vec![set],
             }
         })
         .collect();
+    sp.rows_out(tuples.len());
     NestedRelation { schema, tuples }
 }
 
@@ -77,6 +81,8 @@ pub fn nest_hash_idx(rel: &Relation, n1: &[usize], n2: &[usize], sub: &str) -> N
 /// "original approach" measures: one pass to sort/group, then the linking
 /// selection in a second pass.
 pub fn nest_sort_idx(rel: &Relation, n1: &[usize], n2: &[usize], sub: &str) -> NestedRelation {
+    let mut sp = nra_obs::span(|| "nest[sort]".to_string());
+    sp.rows_in(rel.len());
     let schema = NestedSchema {
         atoms: n1.iter().map(|&i| rel.schema().column(i).clone()).collect(),
         subs: vec![(
@@ -97,16 +103,18 @@ pub fn nest_sort_idx(rel: &Relation, n1: &[usize], n2: &[usize], sub: &str) -> N
         while hi < rows.len() && nra_storage::tuple::group_eq_on(&rows[lo], &rows[hi], n1) {
             hi += 1;
         }
-        let set = rows[lo..hi]
+        let set: Vec<NestedTuple> = rows[lo..hi]
             .iter()
             .map(|r| NestedTuple::flat(n2.iter().map(|&i| r[i].clone()).collect()))
             .collect();
+        sp.group(set.len());
         tuples.push(NestedTuple {
             atoms: n1.iter().map(|&i| rows[lo][i].clone()).collect(),
             sets: vec![set],
         });
         lo = hi;
     }
+    sp.rows_out(tuples.len());
     NestedRelation { schema, tuples }
 }
 

@@ -179,7 +179,11 @@ pub fn fused_nest_select(
     pad_out: &[usize],
 ) -> Relation {
     let mut sorted = rel.clone();
-    sorted.sort_by_columns(n1);
+    {
+        let mut sp = nra_obs::span(|| "nest[sort]".to_string());
+        sp.rows_in(rel.len());
+        sorted.sort_by_columns(n1);
+    }
     fused_nest_select_presorted(&sorted, n1, link, use_pseudo, pad_out)
 }
 
@@ -193,6 +197,8 @@ pub fn fused_nest_select_presorted(
     use_pseudo: bool,
     pad_out: &[usize],
 ) -> Relation {
+    let mut sp = nra_obs::span(|| "link".to_string());
+    sp.rows_in(rel.len());
     let mut out = Relation::new(rel.schema().project(n1));
     let rows = rel.rows();
     let mut lo = 0;
@@ -201,10 +207,13 @@ pub fn fused_nest_select_presorted(
         while hi < rows.len() && group_eq_on(&rows[lo], &rows[hi], n1) {
             hi += 1;
         }
+        sp.group(hi - lo);
         let truth = link.eval(rows[lo..hi].iter().map(Vec::as_slice));
+        sp.outcome(truth);
         if truth == Truth::True {
             out.push_unchecked(n1.iter().map(|&i| rows[lo][i].clone()).collect());
         } else if use_pseudo {
+            sp.padded(1);
             let mut padded: Vec<Value> = n1.iter().map(|&i| rows[lo][i].clone()).collect();
             for &p in pad_out {
                 padded[p] = Value::Null;
@@ -213,6 +222,7 @@ pub fn fused_nest_select_presorted(
         }
         lo = hi;
     }
+    sp.rows_out(out.len());
     out
 }
 

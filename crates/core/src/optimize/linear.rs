@@ -43,9 +43,13 @@ pub fn execute_bottom_up(query: &BoundQuery, catalog: &Catalog) -> Result<Relati
     // reduced = the fully reduced relation of blocks k+1..n.
     let mut reduced: Option<Relation> = None;
     for k in (0..n).rev() {
-        let mut rel = prepare_base(blocks[k], catalog)?;
+        let mut rel = {
+            let _sc = (k > 0).then(|| nra_obs::scope(|| format!("b{}", blocks[k].id)));
+            prepare_base(blocks[k], catalog)?
+        };
         if let Some(child) = reduced.take() {
             let edge = edges[k];
+            let _sc = nra_obs::scope(|| format!("b{}", edge.block.id));
             // Shrink the child to the columns the level needs: correlated
             // attributes, the linked attribute, and the rid marker.
             let child = shrink_child(&child, edge)?;
@@ -122,9 +126,13 @@ pub fn execute_bottom_up_pushdown(
 
     let mut reduced: Option<Relation> = None;
     for k in (0..n).rev() {
-        let mut rel = prepare_base(blocks[k], catalog)?;
+        let mut rel = {
+            let _sc = (k > 0).then(|| nra_obs::scope(|| format!("b{}", blocks[k].id)));
+            prepare_base(blocks[k], catalog)?
+        };
         if let Some(mut child) = reduced.take() {
             let edge = edges[k];
+            let _sc = nra_obs::scope(|| format!("b{}", edge.block.id));
             let split =
                 split_join_conds(&edge.block.correlated_preds, rel.schema(), child.schema())?;
             if split.residual.is_some() || split.eq.is_empty() {
@@ -175,13 +183,27 @@ pub fn execute_bottom_up_pushdown(
             };
             let mut groups: std::collections::HashMap<GroupKey, Vec<Value>> =
                 std::collections::HashMap::new();
-            for row in child.rows() {
-                let key = GroupKey::from_tuple(row, &child_keys);
-                if key.has_null() {
-                    continue; // can never match an SQL equality
+            {
+                let mut sp = nra_obs::span(|| "nest[hash]".to_string());
+                sp.rows_in(child.len());
+                for row in child.rows() {
+                    let key = GroupKey::from_tuple(row, &child_keys);
+                    if key.has_null() {
+                        continue; // can never match an SQL equality
+                    }
+                    let v = inner_idx.map(|i| row[i].clone()).unwrap_or(Value::Null);
+                    groups.entry(key).or_default().push(v);
                 }
-                let v = inner_idx.map(|i| row[i].clone()).unwrap_or(Value::Null);
-                groups.entry(key).or_default().push(v);
+                if sp.active() {
+                    let mut entries = 0usize;
+                    for g in groups.values() {
+                        sp.group(g.len());
+                        entries += g.len();
+                    }
+                    // ~16 bytes per stored member value plus the key columns.
+                    sp.hash_build(entries, entries * 16 + groups.len() * child_keys.len() * 16);
+                    sp.rows_out(groups.len());
+                }
             }
 
             let outer_idx = outer
@@ -194,6 +216,8 @@ pub fn execute_bottom_up_pushdown(
                 .transpose()?;
 
             // Probe: each parent tuple meets its (possibly empty) set.
+            let mut sp = nra_obs::span(|| "link".to_string());
+            sp.rows_in(rel.len());
             let mut out = Relation::new(rel.schema().clone());
             static EMPTY: Vec<Value> = Vec::new();
             for row in rel.rows() {
@@ -236,10 +260,13 @@ pub fn execute_bottom_up_pushdown(
                         acc
                     }
                 };
+                sp.outcome(truth);
                 if truth == Truth::True {
                     out.push_unchecked(row.clone());
                 }
             }
+            sp.rows_out(out.len());
+            drop(sp);
             rel = out;
         }
         reduced = Some(rel);

@@ -43,6 +43,7 @@ pub fn unnest_join_phase(query: &BoundQuery, catalog: &Catalog) -> Result<Relati
     let (_, edges) = chain(query);
     let mut rel = prepare_base(&query.root, catalog)?;
     for edge in &edges {
+        let _sc = nra_obs::scope(|| format!("b{}", edge.block.id));
         let child = prepare_base(&edge.block, catalog)?;
         let split = split_join_conds(&edge.block.correlated_preds, rel.schema(), child.schema())?;
         rel = join(
@@ -76,6 +77,9 @@ struct Level {
     /// Full-schema indices of block k's own columns (σ̄ padding).
     pad: Vec<usize>,
     use_pseudo: bool,
+    /// Precomputed qualified stats name for this level's linking selection
+    /// (the cascade is a per-group hot path, so no span per group).
+    obs_name: String,
 }
 
 /// Single-sort pipelined evaluation of a linear query.
@@ -88,6 +92,7 @@ pub fn execute_linear_cascade(
     // Phase 1 (top-down): the unnesting outer joins.
     let mut rel = prepare_base(blocks[0], catalog)?;
     for edge in &edges {
+        let _sc = nra_obs::scope(|| format!("b{}", edge.block.id));
         let child = prepare_base(&edge.block, catalog)?;
         let split = split_join_conds(&edge.block.correlated_preds, rel.schema(), child.schema())?;
         rel = join(
@@ -119,7 +124,11 @@ pub fn execute_linear_cascade(
                 .expect("rid column present")
         })
         .collect();
-    rel.sort_by_columns(&rid_idx);
+    {
+        let mut sp = nra_obs::span(|| "nest[sort]".to_string());
+        sp.rows_in(rel.len());
+        rel.sort_by_columns(&rid_idx);
+    }
 
     // Phase 3 (bottom-up, pipelined): one scan evaluating every level.
     let modes = edge_modes(query);
@@ -133,6 +142,7 @@ pub fn execute_linear_cascade(
             link,
             pad: owned_columns(rel.schema(), blocks[k]),
             use_pseudo: *modes.get(&edge.block.id).unwrap_or(&false),
+            obs_name: format!("b{}/link", edge.block.id),
         });
     }
 
@@ -173,6 +183,14 @@ impl Cascade<'_> {
             }
             let members = self.reduce(i, j, k + 1);
             let truth = lv.link.eval(members.iter().map(|m| m.as_slice()));
+            let is_padded = truth != Truth::True && lv.use_pseudo;
+            nra_obs::record(&lv.obs_name, |s| {
+                s.record_group(members.len());
+                s.record_outcome(truth);
+                if is_padded {
+                    s.padded += 1;
+                }
+            });
             if truth == Truth::True {
                 out.push(self.rows[i].clone());
             } else if lv.use_pseudo {
@@ -184,6 +202,10 @@ impl Cascade<'_> {
             }
             i = j;
         }
+        nra_obs::record(&lv.obs_name, |s| {
+            s.rows_in += (hi - lo) as u64;
+            s.rows_out += out.len() as u64;
+        });
         out
     }
 }

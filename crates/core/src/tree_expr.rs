@@ -210,6 +210,128 @@ impl TreeExpr {
         ));
         out
     }
+
+    /// Render the Algorithm-1 pipeline annotated with measured runtime
+    /// stats from an [`nra_obs::Profile`] (the body of `EXPLAIN ANALYZE`).
+    ///
+    /// Operator nodes are matched to profile entries by qualified-name
+    /// prefix: the σ/σ̄ of edge `i` reads `b{i}/link`, the nest `b{i}/nest`
+    /// (matching the kind-suffixed `b{i}/nest[sort]` / `b{i}/nest[hash]`),
+    /// the outer join `b{i}/join`, and the block base `b{i}/scan`; the root
+    /// scan and projection are unscoped (`scan`, `project`).
+    pub fn render_plan_analyzed(&self, profile: &nra_obs::Profile) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "π (root select){}\n",
+            annotate(op_for(profile, "project"))
+        ));
+        fn edges(node: &TreeNode, depth: usize, profile: &nra_obs::Profile, out: &mut String) {
+            for edge in &node.children {
+                let pad = "  ".repeat(depth);
+                let id = edge.node.id;
+                let sigma = if edge.pseudo { "σ̄" } else { "σ" };
+                out.push_str(&format!(
+                    "{pad}{sigma} {}{}\n",
+                    edge.link,
+                    annotate(op_for(profile, &format!("b{id}/link")))
+                ));
+                out.push_str(&format!(
+                    "{pad}υ nest by prefix, keep T{id} columns{}\n",
+                    annotate(op_for(profile, &format!("b{id}/nest")))
+                ));
+                edges(&edge.node, depth + 1, profile, out);
+                let corr = if edge.correlated.is_empty() {
+                    "(uncorrelated: virtual Cartesian product)".to_string()
+                } else {
+                    edge.correlated.join(" ∧ ")
+                };
+                out.push_str(&format!(
+                    "{pad}⟕ {corr}{}\n",
+                    annotate(op_for(profile, &format!("b{id}/join")))
+                ));
+                out.push_str(&format!(
+                    "{pad}  T{id} = {}{}{}\n",
+                    edge.node.tables.join(" × "),
+                    if edge.node.local.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" | σ {}", edge.node.local.join(" ∧ "))
+                    },
+                    annotate(op_for(profile, &format!("b{id}/scan")))
+                ));
+            }
+        }
+        edges(&self.root, 1, profile, &mut out);
+        out.push_str(&format!(
+            "  T{} = {}{}{}\n",
+            self.root.id,
+            self.root.tables.join(" × "),
+            if self.root.local.is_empty() {
+                String::new()
+            } else {
+                format!(" | σ {}", self.root.local.join(" ∧ "))
+            },
+            annotate(op_for(profile, "scan"))
+        ));
+        out
+    }
+}
+
+/// Merge every profile entry matching `prefix` exactly or with a
+/// `[kind]` suffix (`b2/join` matches `b2/join[left_outer]`).
+fn op_for(profile: &nra_obs::Profile, prefix: &str) -> Option<nra_obs::OpStats> {
+    let mut acc: Option<nra_obs::OpStats> = None;
+    for (name, stats) in &profile.ops {
+        let matches =
+            name == prefix || (name.starts_with(prefix) && name[prefix.len()..].starts_with('['));
+        if matches {
+            match &mut acc {
+                Some(a) => a.merge(stats),
+                None => acc = Some(stats.clone()),
+            }
+        }
+    }
+    acc
+}
+
+/// Human-readable duration for plan annotations.
+fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3}s", ns as f64 / 1e9)
+    }
+}
+
+/// The parenthesized annotation appended to a plan node.
+fn annotate(stats: Option<nra_obs::OpStats>) -> String {
+    let Some(s) = stats else {
+        return "  (not executed)".to_string();
+    };
+    let mut parts = vec![
+        format!("rows={}→{}", s.rows_in, s.rows_out),
+        fmt_ns(s.wall_ns),
+    ];
+    if s.hash_entries > 0 {
+        parts.push(format!("hash={}e/{}B", s.hash_entries, s.hash_bytes));
+    }
+    if s.nest_groups > 0 {
+        parts.push(format!("groups={}", s.nest_groups));
+    }
+    if s.pass + s.fail + s.unknown > 0 {
+        parts.push(format!(
+            "pass={} fail={} unknown={}",
+            s.pass, s.fail, s.unknown
+        ));
+    }
+    if s.padded > 0 {
+        parts.push(format!("padded={}", s.padded));
+    }
+    format!("  ({})", parts.join(", "))
 }
 
 impl fmt::Display for TreeExpr {

@@ -62,6 +62,9 @@ struct IterEdge {
     outer_expr: Option<CExpr>,
     inner_expr: Option<CExpr>,
     block: IterBlock,
+    /// Precomputed stats name: `eval` runs once per outer tuple, so it
+    /// records under a fixed qualified name instead of opening spans.
+    obs_name: String,
 }
 
 impl NestedIterPlan {
@@ -116,6 +119,8 @@ impl NestedIterPlan {
     }
 
     pub fn run(&self) -> Result<Relation, EngineError> {
+        let mut sp = nra_obs::span(|| "scan".to_string());
+        sp.rows_in(self.root_base.len());
         // The outer block is read once, sequentially.
         for &(rows, cols) in &self.root_io {
             nra_storage::iosim::charge_seq_scan(rows, cols);
@@ -129,7 +134,9 @@ impl NestedIterPlan {
             }
             out.push_unchecked(self.select.iter().map(|e| e.eval(row)).collect());
         }
-        Ok(if self.distinct { out.distinct() } else { out })
+        let out = if self.distinct { out.distinct() } else { out };
+        sp.rows_out(out.len());
+        Ok(out)
     }
 }
 
@@ -156,11 +163,26 @@ impl IterEdge {
             outer_expr,
             inner_expr,
             block,
+            obs_name: format!("b{}/link", edge.block.id),
         })
     }
 
-    /// Evaluate the linking predicate for one environment row.
+    /// Evaluate the linking predicate for one environment row, recording
+    /// the probe and its 3VL outcome.
     fn eval(&self, env_row: &[Value]) -> Truth {
+        let t = self.eval_inner(env_row);
+        nra_obs::record(&self.obs_name, |s| {
+            s.rows_in += 1;
+            s.batches += 1;
+            s.record_outcome(t);
+            if t == Truth::True {
+                s.rows_out += 1;
+            }
+        });
+        t
+    }
+
+    fn eval_inner(&self, env_row: &[Value]) -> Truth {
         let outer_val = self.outer_expr.as_ref().map(|e| e.eval(env_row));
 
         let mut acc = match self.link {

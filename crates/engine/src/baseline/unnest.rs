@@ -38,6 +38,7 @@ fn reduce(block: &QueryBlock, catalog: &Catalog) -> Result<Relation, EngineError
     let mut rel = block_base(block, catalog)?;
 
     for edge in &block.children {
+        let _sc = nra_obs::scope(|| format!("b{}", edge.block.id));
         let child = reduce(&edge.block, catalog)?;
 
         // Join conditions: the child's correlated predicates, plus the
@@ -118,6 +119,7 @@ fn reduce_positive(
     catalog: &Catalog,
 ) -> Result<Relation, EngineError> {
     for edge in &block.children {
+        let _sc = nra_obs::scope(|| format!("b{}", edge.block.id));
         let child = with_rid(&block_base(&edge.block, catalog)?, edge.block.id);
 
         let mut conds: Vec<BPred> = edge.block.correlated_preds.clone();

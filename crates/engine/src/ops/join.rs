@@ -60,6 +60,16 @@ impl JoinSpec {
 
 /// Execute a hash join (or nested-loop fallback when `spec.eq` is empty).
 pub fn join(left: &Relation, right: &Relation, spec: &JoinSpec) -> Result<Relation, EngineError> {
+    let mut sp = nra_obs::span(|| {
+        let kind = match spec.kind {
+            JoinKind::Inner => "inner",
+            JoinKind::LeftOuter => "left_outer",
+            JoinKind::Semi => "semi",
+            JoinKind::Anti => "anti",
+        };
+        format!("join[{kind}]")
+    });
+    sp.rows_in(left.len() + right.len());
     let out_schema = match spec.kind {
         JoinKind::Inner => left.schema().concat(right.schema()),
         JoinKind::LeftOuter => left.schema().concat(&right.schema().with_all_nullable()),
@@ -99,6 +109,7 @@ pub fn join(left: &Relation, right: &Relation, spec: &JoinSpec) -> Result<Relati
             }
             emit_unmatched(&mut out, l, right_width, spec.kind, matched);
         }
+        sp.rows_out(out.len());
         return Ok(out);
     }
 
@@ -107,11 +118,19 @@ pub fn join(left: &Relation, right: &Relation, spec: &JoinSpec) -> Result<Relati
 
     // Build on the right side, excluding NULL keys.
     let mut table: HashMap<GroupKey, Vec<usize>> = HashMap::new();
+    let mut built = 0usize;
     for (rid, r) in right.rows().iter().enumerate() {
         let key = GroupKey::from_tuple(r, &right_keys);
         if !key.has_null() {
             table.entry(key).or_default().push(rid);
+            built += 1;
         }
+    }
+    if sp.active() {
+        // Approximate footprint: each entry carries its key values
+        // (~16 bytes per column) plus a row id.
+        let entry_bytes = right_keys.len() * 16 + std::mem::size_of::<usize>();
+        sp.hash_build(built, built * entry_bytes);
     }
 
     for l in left.rows() {
@@ -137,6 +156,7 @@ pub fn join(left: &Relation, right: &Relation, spec: &JoinSpec) -> Result<Relati
         }
         emit_unmatched(&mut out, l, right_width, spec.kind, matched);
     }
+    sp.rows_out(out.len());
     Ok(out)
 }
 

@@ -31,6 +31,8 @@ fn all_cols(rel: &Relation) -> Vec<usize> {
 
 /// `left ∪ right` (set semantics, left schema kept).
 pub fn union(left: &Relation, right: &Relation) -> Result<Relation, EngineError> {
+    let mut sp = nra_obs::span(|| "setop[union]".to_string());
+    sp.rows_in(left.len() + right.len());
     check_arity(left, right)?;
     let cols = all_cols(left);
     let mut seen: HashSet<GroupKey> = HashSet::new();
@@ -40,11 +42,14 @@ pub fn union(left: &Relation, right: &Relation) -> Result<Relation, EngineError>
             out.push_unchecked(row.clone());
         }
     }
+    sp.rows_out(out.len());
     Ok(out)
 }
 
 /// `left ∩ right` (set semantics).
 pub fn intersect(left: &Relation, right: &Relation) -> Result<Relation, EngineError> {
+    let mut sp = nra_obs::span(|| "setop[intersect]".to_string());
+    sp.rows_in(left.len() + right.len());
     check_arity(left, right)?;
     let cols = all_cols(left);
     let right_keys: HashSet<GroupKey> = right
@@ -60,11 +65,14 @@ pub fn intersect(left: &Relation, right: &Relation) -> Result<Relation, EngineEr
             out.push_unchecked(row.clone());
         }
     }
+    sp.rows_out(out.len());
     Ok(out)
 }
 
 /// `left − right` (set semantics, SQL `EXCEPT`).
 pub fn difference(left: &Relation, right: &Relation) -> Result<Relation, EngineError> {
+    let mut sp = nra_obs::span(|| "setop[difference]".to_string());
+    sp.rows_in(left.len() + right.len());
     check_arity(left, right)?;
     let cols = all_cols(left);
     let right_keys: HashSet<GroupKey> = right
@@ -80,22 +88,28 @@ pub fn difference(left: &Relation, right: &Relation) -> Result<Relation, EngineE
             out.push_unchecked(row.clone());
         }
     }
+    sp.rows_out(out.len());
     Ok(out)
 }
 
 /// `left ∪ right` with bag (multiset) semantics (`UNION ALL`).
 pub fn union_all(left: &Relation, right: &Relation) -> Result<Relation, EngineError> {
+    let mut sp = nra_obs::span(|| "setop[union_all]".to_string());
+    sp.rows_in(left.len() + right.len());
     check_arity(left, right)?;
     let mut out = left.clone();
     for row in right.rows() {
         out.push_unchecked(row.clone());
     }
+    sp.rows_out(out.len());
     Ok(out)
 }
 
 /// `left ∩ right` with bag semantics (`INTERSECT ALL`): each row appears
 /// `min(count_left, count_right)` times.
 pub fn intersect_all(left: &Relation, right: &Relation) -> Result<Relation, EngineError> {
+    let mut sp = nra_obs::span(|| "setop[intersect_all]".to_string());
+    sp.rows_in(left.len() + right.len());
     check_arity(left, right)?;
     let cols = all_cols(left);
     let mut counts: HashMap<GroupKey, usize> = HashMap::new();
@@ -111,12 +125,15 @@ pub fn intersect_all(left: &Relation, right: &Relation) -> Result<Relation, Engi
             }
         }
     }
+    sp.rows_out(out.len());
     Ok(out)
 }
 
 /// `left − right` with bag semantics (`EXCEPT ALL`): each row appears
 /// `max(0, count_left − count_right)` times.
 pub fn difference_all(left: &Relation, right: &Relation) -> Result<Relation, EngineError> {
+    let mut sp = nra_obs::span(|| "setop[difference_all]".to_string());
+    sp.rows_in(left.len() + right.len());
     check_arity(left, right)?;
     let cols = all_cols(left);
     let mut counts: HashMap<GroupKey, usize> = HashMap::new();
@@ -130,6 +147,7 @@ pub fn difference_all(left: &Relation, right: &Relation) -> Result<Relation, Eng
             _ => out.push_unchecked(row.clone()),
         }
     }
+    sp.rows_out(out.len());
     Ok(out)
 }
 

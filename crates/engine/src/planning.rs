@@ -72,11 +72,14 @@ pub fn split_join_conds(
 /// the block's local predicates (`Δ_i`) applied — the paper's first step,
 /// `T_i = σ_{Δi}(R_i)`.
 pub fn block_base(block: &QueryBlock, catalog: &Catalog) -> Result<Relation, EngineError> {
+    let mut sp = nra_obs::span(|| "scan".to_string());
     let mut base: Option<Relation> = None;
     for t in &block.tables {
         let table = catalog.table(&t.table)?;
         // Set-oriented plans read each base table once, sequentially.
         nra_storage::iosim::charge_seq_scan(table.len(), table.schema().len());
+        sp.rows_in(table.len());
+        sp.batch();
         let scanned = ops::scan(table, &t.exposed);
         base = Some(match base {
             None => scanned,
@@ -86,12 +89,15 @@ pub fn block_base(block: &QueryBlock, catalog: &Catalog) -> Result<Relation, Eng
     let mut base = base.expect("binder guarantees at least one table");
     let local = CPred::compile_all(&block.local_preds, base.schema())?;
     base = ops::filter(&base, &local);
+    sp.rows_out(base.len());
     Ok(base)
 }
 
 /// Project a relation onto a block's `SELECT` list (supports computed
 /// expressions), applying `DISTINCT` when requested.
 pub fn project_select(rel: &Relation, root: &QueryBlock) -> Result<Relation, EngineError> {
+    let mut sp = nra_obs::span(|| "project".to_string());
+    sp.rows_in(rel.len());
     let exprs: Vec<CExpr> = root
         .select
         .iter()
@@ -118,7 +124,9 @@ pub fn project_select(rel: &Relation, root: &QueryBlock) -> Result<Relation, Eng
     for row in rel.rows() {
         out.push_unchecked(exprs.iter().map(|e| e.eval(row)).collect());
     }
-    Ok(if root.distinct { out.distinct() } else { out })
+    let out = if root.distinct { out.distinct() } else { out };
+    sp.rows_out(out.len());
+    Ok(out)
 }
 
 #[cfg(test)]

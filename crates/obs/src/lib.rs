@@ -1,0 +1,607 @@
+//! # nra-obs
+//!
+//! Runtime execution observability for the nested relational subquery
+//! processor: a thread-local collector of per-operator [`OpStats`], span
+//! timers, and machine-readable [`Profile`]s.
+//!
+//! The design mirrors `nra_storage::iosim` — collection lives in a
+//! thread-local that is `None` unless explicitly enabled, so the
+//! instrumented operators pay a single thread-local check (no allocation,
+//! no timing syscalls) on the hot path when collection is off:
+//!
+//! ```
+//! nra_obs::enable();
+//! {
+//!     let _scope = nra_obs::scope(|| "b2".to_string());
+//!     let mut span = nra_obs::span(|| "join".to_string());
+//!     span.rows_in(100);
+//!     span.rows_out(42);
+//! } // span drop records wall time under "b2/join"
+//! let profile = nra_obs::disable().unwrap();
+//! assert_eq!(profile.get("b2/join").unwrap().rows_out, 42);
+//! println!("{}", profile.to_json());
+//! ```
+//!
+//! Operators record under a *qualified name* `scope/op` where the scope is
+//! pushed by the executor driving them (typically the query-block id,
+//! `b{id}`), so one profile distinguishes e.g. the join feeding block 2
+//! from the join feeding block 3. A [`Profile`] snapshot also folds in the
+//! I/O simulator's page counts ([`nra_storage::iosim::IoStats`]) when the
+//! simulator is enabled, so one artifact carries both CPU-side operator
+//! stats and the simulated disk story.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::time::Instant;
+
+use nra_storage::iosim::{self, IoStats};
+use nra_storage::Truth;
+
+/// Counters for one (qualified) operator.
+///
+/// All counters are additive across invocations; which fields an operator
+/// touches depends on its kind (joins fill the hash fields, nest fills the
+/// group fields, linking selections fill pass/fail/unknown and padded).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct OpStats {
+    /// Number of span invocations merged into this entry.
+    pub invocations: u64,
+    /// Input tuples consumed.
+    pub rows_in: u64,
+    /// Output tuples produced.
+    pub rows_out: u64,
+    /// Batches / probe calls (operator-specific subdivision of the input).
+    pub batches: u64,
+    /// Wall-clock time spent inside spans, in nanoseconds.
+    pub wall_ns: u64,
+    /// Hash-table build: entries inserted.
+    pub hash_entries: u64,
+    /// Hash-table build: approximate bytes of keys + row ids.
+    pub hash_bytes: u64,
+    /// Nest: groups (nested tuples) formed.
+    pub nest_groups: u64,
+    /// Nest: histogram of set cardinalities, log2 buckets
+    /// `0, 1, 2-3, 4-7, 8-15, 16-31, 32-63, 64+`.
+    pub group_card_hist: [u64; 8],
+    /// Pseudo-selection: tuples kept but NULL-padded (linking condition
+    /// not satisfied, atoms padded per the paper's σ̄).
+    pub padded: u64,
+    /// Linking selection outcomes under 3VL.
+    pub pass: u64,
+    pub fail: u64,
+    pub unknown: u64,
+}
+
+/// Labels for [`OpStats::group_card_hist`] buckets.
+pub const GROUP_CARD_BUCKETS: [&str; 8] = ["0", "1", "2-3", "4-7", "8-15", "16-31", "32-63", "64+"];
+
+fn card_bucket(card: u64) -> usize {
+    match card {
+        0 => 0,
+        _ => ((64 - card.leading_zeros()) as usize).min(7),
+    }
+}
+
+impl OpStats {
+    /// Fold another operator's counters into this one (all fields are
+    /// additive).
+    pub fn merge(&mut self, other: &OpStats) {
+        self.invocations += other.invocations;
+        self.rows_in += other.rows_in;
+        self.rows_out += other.rows_out;
+        self.batches += other.batches;
+        self.wall_ns += other.wall_ns;
+        self.hash_entries += other.hash_entries;
+        self.hash_bytes += other.hash_bytes;
+        self.nest_groups += other.nest_groups;
+        for (a, b) in self.group_card_hist.iter_mut().zip(other.group_card_hist) {
+            *a += b;
+        }
+        self.padded += other.padded;
+        self.pass += other.pass;
+        self.fail += other.fail;
+        self.unknown += other.unknown;
+    }
+
+    /// Record one nest group of the given cardinality.
+    pub fn record_group(&mut self, card: usize) {
+        self.nest_groups += 1;
+        self.group_card_hist[card_bucket(card as u64)] += 1;
+    }
+
+    /// Record one linking-selection outcome.
+    pub fn record_outcome(&mut self, t: Truth) {
+        match t {
+            Truth::True => self.pass += 1,
+            Truth::False => self.fail += 1,
+            Truth::Unknown => self.unknown += 1,
+        }
+    }
+}
+
+struct Collector {
+    /// Insertion order of qualified names, for stable reporting.
+    order: Vec<String>,
+    ops: HashMap<String, OpStats>,
+    scopes: Vec<String>,
+}
+
+impl Collector {
+    fn merge(&mut self, name: &str, stats: &OpStats) {
+        match self.ops.get_mut(name) {
+            Some(e) => e.merge(stats),
+            None => {
+                self.order.push(name.to_string());
+                self.ops.insert(name.to_string(), stats.clone());
+            }
+        }
+    }
+}
+
+thread_local! {
+    static COLLECTOR: RefCell<Option<Collector>> = const { RefCell::new(None) };
+}
+
+/// Start collecting on this thread (clears any previous collection).
+pub fn enable() {
+    COLLECTOR.with(|c| {
+        *c.borrow_mut() = Some(Collector {
+            order: Vec::new(),
+            ops: HashMap::new(),
+            scopes: Vec::new(),
+        });
+    });
+}
+
+/// Stop collecting and return the profile, or `None` if collection was
+/// not enabled on this thread.
+pub fn disable() -> Option<Profile> {
+    let collector = COLLECTOR.with(|c| c.borrow_mut().take());
+    collector.map(finish)
+}
+
+/// Whether collection is enabled on this thread.
+pub fn is_enabled() -> bool {
+    COLLECTOR.with(|c| c.borrow().is_some())
+}
+
+/// Snapshot the stats collected so far without stopping collection.
+/// Returns an empty profile when collection is disabled.
+pub fn snapshot() -> Profile {
+    COLLECTOR.with(|c| match &*c.borrow() {
+        Some(col) => Profile {
+            ops: col
+                .order
+                .iter()
+                .map(|n| (n.clone(), col.ops[n].clone()))
+                .collect(),
+            io: io_snapshot(),
+        },
+        None => Profile {
+            ops: Vec::new(),
+            io: None,
+        },
+    })
+}
+
+fn finish(col: Collector) -> Profile {
+    Profile {
+        ops: col
+            .order
+            .into_iter()
+            .map(|n| {
+                let stats = col.ops[&n].clone();
+                (n, stats)
+            })
+            .collect(),
+        io: io_snapshot(),
+    }
+}
+
+fn io_snapshot() -> Option<IoStats> {
+    if iosim::is_enabled() {
+        Some(iosim::stats())
+    } else {
+        None
+    }
+}
+
+/// A scope label (typically a query-block id like `b2`) qualifying every
+/// span or record made while it is alive. Only the innermost scope
+/// applies — recursive executors replace rather than concatenate.
+pub struct Scope {
+    active: bool,
+}
+
+/// Push a scope label. The closure is only invoked when collection is
+/// enabled, so disabled runs pay no formatting.
+pub fn scope<F: FnOnce() -> String>(label: F) -> Scope {
+    let active = COLLECTOR.with(|c| {
+        let mut b = c.borrow_mut();
+        match &mut *b {
+            Some(col) => {
+                col.scopes.push(label());
+                true
+            }
+            None => false,
+        }
+    });
+    Scope { active }
+}
+
+impl Drop for Scope {
+    fn drop(&mut self) {
+        if self.active {
+            COLLECTOR.with(|c| {
+                if let Some(col) = &mut *c.borrow_mut() {
+                    col.scopes.pop();
+                }
+            });
+        }
+    }
+}
+
+/// Qualify `name` with the innermost active scope (`scope/name`), or
+/// return it unchanged when no scope is active or collection is off.
+pub fn qualified(name: &str) -> String {
+    COLLECTOR.with(|c| match &*c.borrow() {
+        Some(col) => match col.scopes.last() {
+            Some(s) => format!("{s}/{name}"),
+            None => name.to_string(),
+        },
+        None => name.to_string(),
+    })
+}
+
+struct SpanInner {
+    name: String,
+    start: Instant,
+    stats: OpStats,
+}
+
+/// A span timer: accumulates counters locally and merges them (plus wall
+/// time) into the collector on drop. Inert (`None` inner, no allocation)
+/// when collection is disabled.
+pub struct Span {
+    inner: Option<Box<SpanInner>>,
+}
+
+/// Open a span under the current scope. The name closure is only invoked
+/// when collection is enabled.
+pub fn span<F: FnOnce() -> String>(name: F) -> Span {
+    if !is_enabled() {
+        return Span { inner: None };
+    }
+    let name = qualified(&name());
+    Span {
+        inner: Some(Box::new(SpanInner {
+            name,
+            start: Instant::now(),
+            stats: OpStats {
+                invocations: 1,
+                ..OpStats::default()
+            },
+        })),
+    }
+}
+
+impl Span {
+    /// Whether this span is live (collection was enabled at creation).
+    /// Lets call sites skip building per-row data for dead spans.
+    pub fn active(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    pub fn rows_in(&mut self, n: usize) {
+        if let Some(i) = &mut self.inner {
+            i.stats.rows_in += n as u64;
+        }
+    }
+
+    pub fn rows_out(&mut self, n: usize) {
+        if let Some(i) = &mut self.inner {
+            i.stats.rows_out += n as u64;
+        }
+    }
+
+    pub fn batch(&mut self) {
+        if let Some(i) = &mut self.inner {
+            i.stats.batches += 1;
+        }
+    }
+
+    /// Record a hash-table build of `entries` entries and ~`bytes` bytes.
+    pub fn hash_build(&mut self, entries: usize, bytes: usize) {
+        if let Some(i) = &mut self.inner {
+            i.stats.hash_entries += entries as u64;
+            i.stats.hash_bytes += bytes as u64;
+        }
+    }
+
+    /// Record one nest group of the given set cardinality.
+    pub fn group(&mut self, card: usize) {
+        if let Some(i) = &mut self.inner {
+            i.stats.record_group(card);
+        }
+    }
+
+    /// Record `n` tuples kept-but-NULL-padded by a pseudo-selection.
+    pub fn padded(&mut self, n: usize) {
+        if let Some(i) = &mut self.inner {
+            i.stats.padded += n as u64;
+        }
+    }
+
+    /// Record one linking-selection outcome.
+    pub fn outcome(&mut self, t: Truth) {
+        if let Some(i) = &mut self.inner {
+            i.stats.record_outcome(t);
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            let mut inner = *inner;
+            inner.stats.wall_ns += inner.start.elapsed().as_nanos() as u64;
+            COLLECTOR.with(|c| {
+                if let Some(col) = &mut *c.borrow_mut() {
+                    col.merge(&inner.name, &inner.stats);
+                }
+            });
+        }
+    }
+}
+
+/// Update counters under an *already qualified* name without a timer —
+/// for per-row hot paths that precompute their name once (see
+/// [`qualified`]). No-op when collection is disabled.
+pub fn record(name: &str, f: impl FnOnce(&mut OpStats)) {
+    COLLECTOR.with(|c| {
+        if let Some(col) = &mut *c.borrow_mut() {
+            match col.ops.get_mut(name) {
+                Some(e) => f(e),
+                None => {
+                    let mut stats = OpStats::default();
+                    f(&mut stats);
+                    col.order.push(name.to_string());
+                    col.ops.insert(name.to_string(), stats);
+                }
+            }
+        }
+    });
+}
+
+/// A finished (or snapshotted) collection: per-operator stats in first-use
+/// order, plus the I/O simulator's page counts when it was enabled.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    pub ops: Vec<(String, OpStats)>,
+    pub io: Option<IoStats>,
+}
+
+impl Profile {
+    /// Look up an operator by its qualified name.
+    pub fn get(&self, name: &str) -> Option<&OpStats> {
+        self.ops.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+
+    /// No operators recorded and no I/O folded in.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty() && self.io.is_none()
+    }
+
+    /// Sum of wall time over all operators (overlapping spans may double
+    /// count; per-operator numbers are the meaningful ones).
+    pub fn total_wall_ns(&self) -> u64 {
+        self.ops.iter().map(|(_, s)| s.wall_ns).sum()
+    }
+
+    /// Hand-rolled JSON serialization (the workspace carries no serde).
+    ///
+    /// Schema:
+    /// ```json
+    /// {
+    ///   "ops": [{"name": "b2/join", "invocations": 1, "rows_in": 0,
+    ///            "rows_out": 0, "batches": 0, "wall_ns": 0,
+    ///            "hash_entries": 0, "hash_bytes": 0, "nest_groups": 0,
+    ///            "group_card_hist": {"0": 0, "1": 0, ...},
+    ///            "padded": 0, "pass": 0, "fail": 0, "unknown": 0}],
+    ///   "io": {"seq_pages": 0, "rand_hits": 0, "rand_misses": 0} | null,
+    ///   "total_wall_ns": 0
+    /// }
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"ops\": [");
+        for (i, (name, s)) in self.ops.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str("{\"name\": ");
+            json_string(&mut out, name);
+            for (key, v) in [
+                ("invocations", s.invocations),
+                ("rows_in", s.rows_in),
+                ("rows_out", s.rows_out),
+                ("batches", s.batches),
+                ("wall_ns", s.wall_ns),
+                ("hash_entries", s.hash_entries),
+                ("hash_bytes", s.hash_bytes),
+                ("nest_groups", s.nest_groups),
+            ] {
+                out.push_str(&format!(", \"{key}\": {v}"));
+            }
+            out.push_str(", \"group_card_hist\": {");
+            for (j, (label, count)) in GROUP_CARD_BUCKETS.iter().zip(s.group_card_hist).enumerate()
+            {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{label}\": {count}"));
+            }
+            out.push('}');
+            for (key, v) in [
+                ("padded", s.padded),
+                ("pass", s.pass),
+                ("fail", s.fail),
+                ("unknown", s.unknown),
+            ] {
+                out.push_str(&format!(", \"{key}\": {v}"));
+            }
+            out.push('}');
+        }
+        out.push_str("], \"io\": ");
+        match &self.io {
+            Some(io) => out.push_str(&format!(
+                "{{\"seq_pages\": {}, \"rand_hits\": {}, \"rand_misses\": {}}}",
+                io.seq_pages, io.rand_hits, io.rand_misses
+            )),
+            None => out.push_str("null"),
+        }
+        out.push_str(&format!(", \"total_wall_ns\": {}}}", self.total_wall_ns()));
+        out
+    }
+}
+
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        assert!(!is_enabled());
+        let mut sp = span(|| unreachable!("name closure must not run when disabled"));
+        assert!(!sp.active());
+        sp.rows_in(5);
+        sp.rows_out(5);
+        drop(sp);
+        assert!(snapshot().is_empty());
+        assert!(disable().is_none());
+    }
+
+    #[test]
+    fn spans_merge_under_scopes() {
+        enable();
+        {
+            let _s = scope(|| "b2".to_string());
+            let mut sp = span(|| "join".to_string());
+            sp.rows_in(10);
+            sp.rows_out(4);
+            sp.hash_build(3, 96);
+        }
+        {
+            let _s = scope(|| "b2".to_string());
+            let mut sp = span(|| "join".to_string());
+            sp.rows_in(2);
+        }
+        let profile = disable().unwrap();
+        let j = profile.get("b2/join").unwrap();
+        assert_eq!(j.invocations, 2);
+        assert_eq!(j.rows_in, 12);
+        assert_eq!(j.rows_out, 4);
+        assert_eq!(j.hash_entries, 3);
+        assert_eq!(j.hash_bytes, 96);
+        assert!(j.wall_ns > 0);
+    }
+
+    #[test]
+    fn innermost_scope_wins() {
+        enable();
+        {
+            let _outer = scope(|| "b1".to_string());
+            let _inner = scope(|| "b2".to_string());
+            span(|| "nest".to_string()).group(3);
+        }
+        let profile = disable().unwrap();
+        assert!(profile.get("b2/nest").is_some());
+        assert!(profile.get("b1/nest").is_none());
+    }
+
+    #[test]
+    fn group_histogram_buckets() {
+        let mut s = OpStats::default();
+        for card in [0usize, 1, 2, 3, 4, 7, 8, 15, 16, 31, 32, 63, 64, 1000] {
+            s.record_group(card);
+        }
+        assert_eq!(s.nest_groups, 14);
+        assert_eq!(s.group_card_hist, [1, 1, 2, 2, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn outcome_counters() {
+        let mut s = OpStats::default();
+        s.record_outcome(Truth::True);
+        s.record_outcome(Truth::False);
+        s.record_outcome(Truth::False);
+        s.record_outcome(Truth::Unknown);
+        assert_eq!((s.pass, s.fail, s.unknown), (1, 2, 1));
+    }
+
+    #[test]
+    fn record_uses_raw_name_and_creates_entries() {
+        enable();
+        record("b3/link", |s| s.record_outcome(Truth::True));
+        record("b3/link", |s| s.record_outcome(Truth::Unknown));
+        let profile = disable().unwrap();
+        let l = profile.get("b3/link").unwrap();
+        assert_eq!((l.pass, l.unknown), (1, 1));
+    }
+
+    #[test]
+    fn json_shape() {
+        enable();
+        {
+            let mut sp = span(|| "nest".to_string());
+            sp.rows_in(6);
+            sp.group(2);
+            sp.group(0);
+            sp.rows_out(2);
+        }
+        let profile = disable().unwrap();
+        let json = profile.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"name\": \"nest\""));
+        assert!(json.contains("\"rows_in\": 6"));
+        assert!(json.contains("\"nest_groups\": 2"));
+        assert!(json.contains("\"group_card_hist\": {\"0\": 1, \"1\": 0, \"2-3\": 1"));
+        assert!(json.contains("\"io\": null"));
+    }
+
+    #[test]
+    fn io_stats_fold_into_snapshot() {
+        use nra_storage::iosim::IoConfig;
+        enable();
+        iosim::enable(IoConfig::default());
+        iosim::charge_seq_scan(1000, 4);
+        span(|| "scan".to_string()).rows_out(1000);
+        let profile = disable().unwrap();
+        let io = iosim::disable().unwrap();
+        assert!(io.seq_pages > 0);
+        assert_eq!(profile.io.unwrap().seq_pages, io.seq_pages);
+        assert!(profile.to_json().contains("\"seq_pages\""));
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let mut out = String::new();
+        json_string(&mut out, "a\"b\\c\nd");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\"");
+    }
+}

@@ -17,6 +17,7 @@ pub mod error;
 pub mod index;
 pub mod iosim;
 pub mod relation;
+pub mod rng;
 pub mod schema;
 pub mod tuple;
 pub mod value;

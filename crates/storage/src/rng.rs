@@ -1,0 +1,157 @@
+//! A small vendored PRNG (PCG-XSH-RR 64/32, O'Neill 2014).
+//!
+//! The workspace builds in offline sandboxes where external crates cannot
+//! be resolved, so the `rand` crate is replaced by this generator. It is
+//! used everywhere the repo needs reproducible pseudo-randomness: the
+//! TPC-H-shaped data generator (`nra-tpch`), the deterministic property
+//! tests, and the benchmark harness. It is **not** cryptographic and is
+//! not meant to be.
+
+/// Deterministic 32-bit PCG generator with 64-bit state.
+#[derive(Debug, Clone)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6364136223846793005;
+
+impl Pcg32 {
+    /// Seed the generator. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Pcg32 {
+        let mut rng = Pcg32 {
+            state: 0,
+            // Default PCG stream constant; must be odd.
+            inc: 1442695040888963407,
+        };
+        rng.state = rng.state.wrapping_mul(PCG_MULT).wrapping_add(rng.inc);
+        rng.state = rng.state.wrapping_add(seed);
+        rng.state = rng.state.wrapping_mul(PCG_MULT).wrapping_add(rng.inc);
+        rng
+    }
+
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+
+    /// Uniform in `[0, bound)` without modulo bias (Lemire rejection).
+    fn bounded(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Rejection zone keeps the mapping uniform.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let r = self.next_u64();
+            if r >= threshold {
+                return r % bound;
+            }
+        }
+    }
+
+    /// Uniform integer in the half-open range `[lo, hi)`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "range_i64: empty range {lo}..{hi}");
+        let span = hi.wrapping_sub(lo) as u64;
+        lo.wrapping_add(self.bounded(span) as i64)
+    }
+
+    /// Uniform integer in the closed range `[lo, hi]`.
+    pub fn range_incl_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "range_incl_i64: empty range {lo}..={hi}");
+        if lo == i64::MIN && hi == i64::MAX {
+            return self.next_u64() as i64;
+        }
+        let span = hi.wrapping_sub(lo) as u64 + 1;
+        lo.wrapping_add(self.bounded(span) as i64)
+    }
+
+    /// Uniform index in `[0, n)` — the common "pick an element" case.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index: empty range");
+        self.bounded(n as u64) as usize
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    pub fn bool(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Pick a uniformly random element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.index(xs.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u32> = {
+            let mut r = Pcg32::new(42);
+            (0..8).map(|_| r.next_u32()).collect()
+        };
+        let b: Vec<u32> = {
+            let mut r = Pcg32::new(42);
+            (0..8).map(|_| r.next_u32()).collect()
+        };
+        let c: Vec<u32> = {
+            let mut r = Pcg32::new(43);
+            (0..8).map(|_| r.next_u32()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Pcg32::new(7);
+        for _ in 0..10_000 {
+            let v = r.range_i64(-5, 5);
+            assert!((-5..5).contains(&v));
+            let w = r.range_incl_i64(1, 50);
+            assert!((1..=50).contains(&w));
+            let i = r.index(3);
+            assert!(i < 3);
+            let f = r.f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_is_roughly_uniform() {
+        let mut r = Pcg32::new(1);
+        let mut counts = [0usize; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[r.index(10)] += 1;
+        }
+        for &c in &counts {
+            let expected = n / 10;
+            assert!(
+                (c as i64 - expected as i64).unsigned_abs() < (expected / 10) as u64,
+                "bucket count {c} too far from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn bool_matches_probability() {
+        let mut r = Pcg32::new(9);
+        let hits = (0..100_000).filter(|_| r.bool(0.25)).count();
+        assert!((20_000..30_000).contains(&hits), "hits {hits}");
+    }
+}

@@ -1,61 +1,73 @@
 //! Property tests for the storage substrate: 3VL algebra laws, relation
 //! invariants, and the I/O simulator's LRU against a naive reference
-//! model.
-
-use proptest::prelude::*;
+//! model. Formerly proptest; now exhaustive where the domain is small
+//! (3VL) and seeded-deterministic elsewhere so the suite runs with no
+//! external crates.
 
 use nra_storage::iosim::{self, IoConfig};
+use nra_storage::rng::Pcg32;
 use nra_storage::{Column, ColumnType, Relation, Schema, Truth, Value};
 
-fn truth() -> impl proptest::strategy::Strategy<Value = Truth> {
-    proptest::sample::select(vec![Truth::True, Truth::False, Truth::Unknown])
-}
+const TRUTHS: [Truth; 3] = [Truth::True, Truth::False, Truth::Unknown];
 
-fn cell() -> impl proptest::strategy::Strategy<Value = Value> {
-    prop_oneof![
-        5 => (0i64..6).prop_map(Value::Int),
-        1 => Just(Value::Null),
-    ]
-}
-
-fn relation() -> impl proptest::strategy::Strategy<Value = Relation> {
-    proptest::collection::vec((cell(), cell()), 0..16).prop_map(|rows| {
-        Relation::with_rows(
-            Schema::new(vec![
-                Column::new("t.a", ColumnType::Int),
-                Column::new("t.b", ColumnType::Int),
-            ]),
-            rows.into_iter().map(|(a, b)| vec![a, b]).collect(),
-        )
-    })
-}
-
-proptest! {
-    /// Kleene 3VL: De Morgan duality and involution.
-    #[test]
-    fn three_valued_de_morgan(a in truth(), b in truth()) {
-        prop_assert_eq!(a.and(b).not(), a.not().or(b.not()));
-        prop_assert_eq!(a.or(b).not(), a.not().and(b.not()));
-        prop_assert_eq!(a.not().not(), a);
+fn cell(rng: &mut Pcg32) -> Value {
+    if rng.bool(1.0 / 6.0) {
+        Value::Null
+    } else {
+        Value::Int(rng.range_i64(0, 6))
     }
+}
 
-    /// 3VL conjunction/disjunction: commutative, associative, monotone
-    /// identities.
-    #[test]
-    fn three_valued_lattice(a in truth(), b in truth(), c in truth()) {
-        prop_assert_eq!(a.and(b), b.and(a));
-        prop_assert_eq!(a.or(b), b.or(a));
-        prop_assert_eq!(a.and(b).and(c), a.and(b.and(c)));
-        prop_assert_eq!(a.or(b).or(c), a.or(b.or(c)));
-        prop_assert_eq!(a.and(Truth::True), a);
-        prop_assert_eq!(a.or(Truth::False), a);
+fn relation(rng: &mut Pcg32) -> Relation {
+    let n = rng.index(16);
+    Relation::with_rows(
+        Schema::new(vec![
+            Column::new("t.a", ColumnType::Int),
+            Column::new("t.b", ColumnType::Int),
+        ]),
+        (0..n).map(|_| vec![cell(rng), cell(rng)]).collect(),
+    )
+}
+
+/// Kleene 3VL: De Morgan duality and involution — exhaustive.
+#[test]
+fn three_valued_de_morgan() {
+    for a in TRUTHS {
+        for b in TRUTHS {
+            assert_eq!(a.and(b).not(), a.not().or(b.not()));
+            assert_eq!(a.or(b).not(), a.not().and(b.not()));
+        }
+        assert_eq!(a.not().not(), a);
     }
+}
 
-    /// multiset_eq is reflexive, symmetric, and order-insensitive.
-    #[test]
-    fn multiset_eq_properties(rel in relation(), seed in 0u64..1000) {
-        prop_assert!(rel.multiset_eq(&rel));
-        // Shuffle deterministically by sorting on a "random" key.
+/// 3VL conjunction/disjunction: commutative, associative, monotone
+/// identities — exhaustive.
+#[test]
+fn three_valued_lattice() {
+    for a in TRUTHS {
+        for b in TRUTHS {
+            assert_eq!(a.and(b), b.and(a));
+            assert_eq!(a.or(b), b.or(a));
+            for c in TRUTHS {
+                assert_eq!(a.and(b).and(c), a.and(b.and(c)));
+                assert_eq!(a.or(b).or(c), a.or(b.or(c)));
+            }
+        }
+        assert_eq!(a.and(Truth::True), a);
+        assert_eq!(a.or(Truth::False), a);
+    }
+}
+
+/// multiset_eq is reflexive, symmetric, and order-insensitive.
+#[test]
+fn multiset_eq_properties() {
+    let mut rng = Pcg32::new(0x5eed_0001);
+    for case in 0..256 {
+        let rel = relation(&mut rng);
+        assert!(rel.multiset_eq(&rel), "case {case}");
+        // Shuffle deterministically by sorting on a hashed key.
+        let seed = rng.next_u64();
         let mut rows = rel.rows().to_vec();
         rows.sort_by_key(|r| {
             use std::hash::{Hash, Hasher};
@@ -65,38 +77,58 @@ proptest! {
             h.finish()
         });
         let shuffled = Relation::with_rows(rel.schema().clone(), rows);
-        prop_assert!(rel.multiset_eq(&shuffled));
-        prop_assert!(shuffled.multiset_eq(&rel));
+        assert!(rel.multiset_eq(&shuffled), "case {case}");
+        assert!(shuffled.multiset_eq(&rel), "case {case}");
     }
+}
 
-    /// distinct is idempotent and never grows.
-    #[test]
-    fn distinct_idempotent(rel in relation()) {
+/// distinct is idempotent and never grows.
+#[test]
+fn distinct_idempotent() {
+    let mut rng = Pcg32::new(0x5eed_0002);
+    for case in 0..256 {
+        let rel = relation(&mut rng);
         let d = rel.distinct();
-        prop_assert!(d.len() <= rel.len());
-        prop_assert!(d.distinct().multiset_eq(&d));
+        assert!(d.len() <= rel.len(), "case {case}");
+        assert!(d.distinct().multiset_eq(&d), "case {case}");
     }
+}
 
-    /// Sorting preserves the multiset and orders NULLs first.
-    #[test]
-    fn sort_preserves_rows(rel in relation()) {
+/// Sorting preserves the multiset and orders NULLs first.
+#[test]
+fn sort_preserves_rows() {
+    let mut rng = Pcg32::new(0x5eed_0003);
+    for case in 0..256 {
+        let rel = relation(&mut rng);
         let mut sorted = rel.clone();
         sorted.sort_by_columns(&[0, 1]);
-        prop_assert!(sorted.multiset_eq(&rel));
+        assert!(sorted.multiset_eq(&rel), "case {case}");
         let first_non_null = sorted.rows().iter().position(|r| !r[0].is_null());
         if let Some(p) = first_non_null {
-            prop_assert!(sorted.rows()[..p].iter().all(|r| r[0].is_null()));
+            assert!(
+                sorted.rows()[..p].iter().all(|r| r[0].is_null()),
+                "case {case}"
+            );
         }
     }
+}
 
-    /// The iosim LRU agrees with a naive reference model (Vec ordered by
-    /// recency) on hit/miss decisions.
-    #[test]
-    fn lru_matches_reference_model(
-        capacity in 1usize..6,
-        accesses in proptest::collection::vec((0u8..2, 0usize..2000), 1..80),
-    ) {
-        iosim::enable(IoConfig { cache_pages: capacity, ..IoConfig::default() });
+/// The iosim LRU agrees with a naive reference model (Vec ordered by
+/// recency) on hit/miss decisions.
+#[test]
+fn lru_matches_reference_model() {
+    let mut rng = Pcg32::new(0x5eed_0004);
+    for case in 0..128 {
+        let capacity = 1 + rng.index(5);
+        let n_accesses = 1 + rng.index(79);
+        let accesses: Vec<(u8, usize)> = (0..n_accesses)
+            .map(|_| (rng.index(2) as u8, rng.index(2000)))
+            .collect();
+
+        iosim::enable(IoConfig {
+            cache_pages: capacity,
+            ..IoConfig::default()
+        });
         // Reference: most-recent at the front. Keys mirror the simulator's
         // (table, page) pairs; rows_per_page at 4 columns is 128.
         let mut model: Vec<(u8, usize)> = Vec::new();
@@ -104,7 +136,7 @@ proptest! {
         let mut expect_misses = 0u64;
         for &(t, row) in &accesses {
             let table = if t == 0 { "a" } else { "b" };
-            nra_storage::iosim::charge_random_row(table, 4, row);
+            iosim::charge_random_row(table, 4, row);
             let page = row / 128;
             match model.iter().position(|&e| e == (t, page)) {
                 Some(i) => {
@@ -120,7 +152,7 @@ proptest! {
             }
         }
         let stats = iosim::disable().unwrap();
-        prop_assert_eq!(stats.rand_hits, expect_hits);
-        prop_assert_eq!(stats.rand_misses, expect_misses);
+        assert_eq!(stats.rand_hits, expect_hits, "case {case}");
+        assert_eq!(stats.rand_misses, expect_misses, "case {case}");
     }
 }

@@ -17,9 +17,7 @@
 //!   l_shipdate < l_commitdate`) holds for exactly a configurable fraction
 //!   of `lineitem`.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use nra_storage::rng::Pcg32;
 use nra_storage::{Catalog, Value};
 
 use crate::tables;
@@ -100,7 +98,7 @@ pub fn generate(cfg: &TpchConfig) -> Catalog {
         !(cfg.not_null_link_columns && cfg.null_fraction > 0.0),
         "cannot inject NULLs into NOT NULL columns"
     );
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Pcg32::new(cfg.seed);
     let mut cat = Catalog::new();
 
     // region / nation
@@ -134,8 +132,8 @@ pub fn generate(cfg: &TpchConfig) -> Catalog {
             .insert(vec![
                 Value::Int(i),
                 Value::str(text::name("supplier", i)),
-                Value::Int(rng.gen_range(0..25)),
-                Value::Decimal(rng.gen_range(-99_999..999_999)),
+                Value::Int(rng.range_i64(0, 25)),
+                Value::Decimal(rng.range_i64(-99_999, 999_999)),
             ])
             .unwrap();
     }
@@ -155,19 +153,19 @@ pub fn generate(cfg: &TpchConfig) -> Catalog {
             .insert(vec![
                 Value::Int(i),
                 Value::str(text::name("customer", i)),
-                Value::Int(rng.gen_range(0..25)),
-                Value::Decimal(rng.gen_range(-99_999..999_999)),
-                Value::str(segments[rng.gen_range(0..segments.len())]),
+                Value::Int(rng.range_i64(0, 25)),
+                Value::Decimal(rng.range_i64(-99_999, 999_999)),
+                Value::str(*rng.choose(&segments)),
             ])
             .unwrap();
     }
     cat.add_table(customer).unwrap();
 
-    let maybe_null_money = |rng: &mut StdRng, lo: i64, hi: i64| -> Value {
-        if cfg.null_fraction > 0.0 && rng.gen_bool(cfg.null_fraction) {
+    let maybe_null_money = |rng: &mut Pcg32, lo: i64, hi: i64| -> Value {
+        if cfg.null_fraction > 0.0 && rng.bool(cfg.null_fraction) {
             Value::Null
         } else {
-            Value::Decimal(rng.gen_range(lo..hi))
+            Value::Decimal(rng.range_i64(lo, hi))
         }
     };
 
@@ -179,9 +177,9 @@ pub fn generate(cfg: &TpchConfig) -> Catalog {
         part.insert(vec![
             Value::Int(i),
             Value::str(text::name("part", i)),
-            Value::str(format!("brand#{}", rng.gen_range(10..60))),
-            Value::Int(rng.gen_range(1..=50)),
-            Value::str(containers[rng.gen_range(0..containers.len())]),
+            Value::str(format!("brand#{}", rng.range_i64(10, 60))),
+            Value::Int(rng.range_incl_i64(1, 50)),
+            Value::str(*rng.choose(&containers)),
             retail,
         ])
         .unwrap();
@@ -195,7 +193,7 @@ pub fn generate(cfg: &TpchConfig) -> Catalog {
     for p in 1..=cfg.part as i64 {
         let mut supps = Vec::with_capacity(cfg.partsupp_per_part);
         while supps.len() < cfg.partsupp_per_part {
-            let s = rng.gen_range(1..=cfg.suppliers as i64);
+            let s = rng.range_incl_i64(1, cfg.suppliers as i64);
             if !supps.contains(&s) {
                 supps.push(s);
             }
@@ -209,7 +207,7 @@ pub fn generate(cfg: &TpchConfig) -> Catalog {
                 .insert(vec![
                     Value::Int(p),
                     Value::Int(s),
-                    Value::Int(rng.gen_range(1..=10_000)),
+                    Value::Int(rng.range_incl_i64(1, 10_000)),
                     cost,
                 ])
                 .unwrap();
@@ -226,11 +224,11 @@ pub fn generate(cfg: &TpchConfig) -> Catalog {
         orders
             .insert(vec![
                 Value::Int(i),
-                Value::Int(rng.gen_range(1..=cfg.customers as i64)),
-                Value::str(if rng.gen_bool(0.5) { "o" } else { "f" }),
+                Value::Int(rng.range_incl_i64(1, cfg.customers as i64)),
+                Value::str(if rng.bool(0.5) { "o" } else { "f" }),
                 total,
-                Value::Date(rng.gen_range(DATE_LO..DATE_HI)),
-                Value::str(priorities[rng.gen_range(0..priorities.len())]),
+                Value::Date(rng.range_i64(DATE_LO as i64, DATE_HI as i64) as i32),
+                Value::str(*rng.choose(&priorities)),
             ])
             .unwrap();
     }
@@ -239,32 +237,32 @@ pub fn generate(cfg: &TpchConfig) -> Catalog {
     // lineitem
     let mut lineitem = tables::lineitem(cfg.not_null_link_columns);
     for i in 1..=cfg.lineitem as i64 {
-        let pkey = rng.gen_range(1..=cfg.part as i64);
+        let pkey = rng.range_incl_i64(1, cfg.part as i64);
         let supps = &part_suppliers[(pkey - 1) as usize];
-        let skey = supps[rng.gen_range(0..supps.len())];
-        let ship = rng.gen_range(DATE_LO..DATE_HI);
+        let skey = supps[rng.index(supps.len())];
+        let ship = rng.range_i64(DATE_LO as i64, DATE_HI as i64) as i32;
         // Query 1's inner predicate (commit < receipt AND ship < commit)
         // holds with probability `q1_inner_fraction`.
-        let (commit, receipt) = if rng.gen_bool(cfg.q1_inner_fraction) {
-            let c = ship + rng.gen_range(1..=30);
-            (c, c + rng.gen_range(1..=30))
-        } else if rng.gen_bool(0.5) {
+        let (commit, receipt) = if rng.bool(cfg.q1_inner_fraction) {
+            let c = ship + rng.range_incl_i64(1, 30) as i32;
+            (c, c + rng.range_incl_i64(1, 30) as i32)
+        } else if rng.bool(0.5) {
             // violate ship < commit
-            let c = ship - rng.gen_range(0..=15);
-            (c, c + rng.gen_range(1..=30))
+            let c = ship - rng.range_incl_i64(0, 15) as i32;
+            (c, c + rng.range_incl_i64(1, 30) as i32)
         } else {
             // violate commit < receipt
-            let c = ship + rng.gen_range(1..=30);
-            (c, c - rng.gen_range(0..=15))
+            let c = ship + rng.range_incl_i64(1, 30) as i32;
+            (c, c - rng.range_incl_i64(0, 15) as i32)
         };
         let price = maybe_null_money(&mut rng, 90_000, 10_000_000);
         lineitem
             .insert(vec![
-                Value::Int(rng.gen_range(1..=cfg.orders as i64)),
+                Value::Int(rng.range_incl_i64(1, cfg.orders as i64)),
                 Value::Int(i),
                 Value::Int(pkey),
                 Value::Int(skey),
-                Value::Int(rng.gen_range(1..=cfg.quantity_levels)),
+                Value::Int(rng.range_incl_i64(1, cfg.quantity_levels)),
                 price,
                 Value::Date(ship),
                 Value::Date(commit),

@@ -1,5 +1,6 @@
 //! EXPLAIN tour: the paper's tree expression (Figure 3a), the Algorithm-1
-//! operator pipeline (Figure 3b), and the aggregate-subquery extension.
+//! operator pipeline (Figure 3b) both static and measured (`EXPLAIN
+//! ANALYZE`), and the aggregate-subquery extension.
 //!
 //! ```sh
 //! cargo run --example explain_plans
@@ -16,6 +17,10 @@ fn show(db: &Database, sql: &str) {
     let tree = TreeExpr::build(&bq);
     println!("\ntree expression (paper Fig. 3a):\n{tree}");
     println!("operator pipeline (paper Fig. 3b):\n{}", tree.render_plan());
+    println!(
+        "explain analyze (measured):\n{}",
+        db.explain_analyze(sql).unwrap()
+    );
     let out = db.query(sql).unwrap();
     println!("result:\n{out}\n");
 }

@@ -40,6 +40,7 @@ use std::fmt;
 
 pub use nra_core as core;
 pub use nra_engine as engine;
+pub use nra_obs as obs;
 pub use nra_sql as sql;
 pub use nra_storage as storage;
 pub use nra_tpch as tpch;
@@ -262,6 +263,51 @@ impl Database {
         Ok(format!(
             "nested relational: {nr}; baseline (System A): {baseline}{suffix}"
         ))
+    }
+
+    /// `EXPLAIN ANALYZE`: execute the query under the observability
+    /// collector ([`obs`]) and render the Algorithm 1 plan with each
+    /// operator node annotated by its measured statistics — rows in/out,
+    /// wall time, hash-table build sizes, nest group counts, linking
+    /// three-valued outcomes, and NULL-padded tuples — followed by a
+    /// footer with the result cardinality, total operator time, and the
+    /// simulated I/O page counts.
+    ///
+    /// The query runs with [`Strategy::Original`] (the two-pass
+    /// Algorithm 1) so the executed operator pipeline matches the
+    /// rendered plan node for node; other strategies fuse or reorder
+    /// operators away from the textbook tree. Any profile being
+    /// collected on this thread is replaced, and the collector is left
+    /// disabled on return. The I/O simulator is enabled for the duration
+    /// unless the caller already turned it on.
+    pub fn explain_analyze(&self, sql: &str) -> Result<String, NraError> {
+        use nra_storage::iosim;
+        let bound = self.prepare(sql)?;
+        nra_obs::enable();
+        let own_io = !iosim::is_enabled();
+        if own_io {
+            iosim::enable(iosim::IoConfig::default());
+        }
+        let result = self.run(&bound, Engine::NestedRelational(Strategy::Original));
+        let profile = nra_obs::disable().expect("collector enabled above");
+        if own_io {
+            iosim::disable();
+        }
+        let rel = result?;
+        let tree = nra_core::TreeExpr::build(&bound);
+        let mut out = tree.render_plan_analyzed(&profile);
+        out.push_str(&format!(
+            "-- {} row(s); total operator time {:.3} ms\n",
+            rel.len(),
+            profile.total_wall_ns() as f64 / 1e6
+        ));
+        if let Some(io) = &profile.io {
+            out.push_str(&format!(
+                "-- io: {} sequential page(s), {} random hit(s), {} random miss(es)\n",
+                io.seq_pages, io.rand_hits, io.rand_misses
+            ));
+        }
+        Ok(out)
     }
 }
 

@@ -1,0 +1,146 @@
+//! `EXPLAIN ANALYZE` on the paper's running example (Query Q of
+//! Section 2): a golden test of the annotated Algorithm-1 plan, plus the
+//! accounting invariants the per-operator counters must satisfy.
+
+use nra::obs;
+use nra::tpch::paper_example::{rst_catalog, QUERY_Q};
+use nra::{Database, Engine, Strategy};
+
+fn db() -> Database {
+    Database::from_catalog(rst_catalog())
+}
+
+/// The deterministic skeleton of the analyzed plan: operator shapes and
+/// cardinalities are fixed by the catalog; only timings vary run to run.
+#[test]
+fn analyzed_paper_plan_matches_golden_text() {
+    let text = db().explain_analyze(QUERY_Q).unwrap();
+    for expected in [
+        // Root projection passes the two answer tuples through.
+        "π (root select)  (rows=2→2, ",
+        // Outer linking selection: three nested tuples in, r1 and r3 out.
+        "σ r.b <> ALL {s.e}  (rows=3→2, ",
+        "pass=2 fail=1 unknown=0",
+        // Inner *pseudo*-selection: s1 fails, s3 is unknown — both are
+        // NULL-padded rather than discarded, so 3 rows stay 3 rows.
+        "σ̄ s.h > ALL {t.j}  (rows=3→3, ",
+        "pass=1 fail=1 unknown=1, padded=2",
+        // Both nests keep every prefix group.
+        "groups=3",
+        // The unnesting outer joins and the base scans with their local
+        // predicates.
+        "⟕ r.d = s.g  (rows=6→3, ",
+        "⟕ t.k = r.c ∧ t.l <> s.i  (rows=8→3, ",
+        "T1 = r | σ r.a > 1  (rows=4→3, ",
+        "T2 = s | σ s.f = 5  (rows=4→3, ",
+        "T3 = t  (rows=5→5, ",
+        // Footer: the hand-derived answer has two rows, and the scans
+        // were charged to the I/O simulator.
+        "-- 2 row(s); total operator time ",
+        "sequential page(s)",
+    ] {
+        assert!(text.contains(expected), "missing {expected:?} in:\n{text}");
+    }
+}
+
+/// Every operator node of the plan must carry measured rows and a
+/// non-zero timing — nothing may render as `(not executed)`.
+#[test]
+fn every_operator_node_is_annotated() {
+    let text = db().explain_analyze(QUERY_Q).unwrap();
+    let plan_lines: Vec<&str> = text.lines().filter(|l| !l.starts_with("--")).collect();
+    assert_eq!(plan_lines.len(), 10, "plan shape changed:\n{text}");
+    for line in plan_lines {
+        assert!(!line.contains("not executed"), "dead node: {line}");
+        assert!(line.contains("(rows="), "no row counts: {line}");
+        let annotation = &line[line.find("(rows=").unwrap()..];
+        let time = annotation
+            .split(", ")
+            .nth(1)
+            .unwrap_or_else(|| panic!("no timing field: {line}"))
+            .trim_end_matches(')');
+        assert!(
+            time.ends_with("ns")
+                || time.ends_with("µs")
+                || time.ends_with("ms")
+                || time.ends_with('s'),
+            "unparsable timing {time:?}: {line}"
+        );
+        assert!(!time.starts_with("0n"), "zero timing: {line}");
+    }
+}
+
+/// The nest operator emits exactly one nested tuple per group.
+#[test]
+fn nest_rows_out_equals_group_count() {
+    let database = db();
+    let bound = database.prepare(QUERY_Q).unwrap();
+    obs::enable();
+    database
+        .run(&bound, Engine::NestedRelational(Strategy::Original))
+        .unwrap();
+    let profile = obs::disable().unwrap();
+    let nests: Vec<_> = profile
+        .ops
+        .iter()
+        .filter(|(name, _)| name.contains("nest["))
+        .collect();
+    assert!(nests.len() >= 2, "Query Q nests twice: {:?}", profile.ops);
+    for (name, stats) in nests {
+        assert_eq!(
+            stats.rows_out, stats.nest_groups,
+            "{name} emits one tuple per group"
+        );
+        assert!(stats.group_card_hist.iter().sum::<u64>() == stats.nest_groups);
+    }
+}
+
+/// Pseudo-selection pads exactly the tuples whose linking predicate did
+/// not pass (FALSE and UNKNOWN alike), instead of discarding them.
+#[test]
+fn padded_tuples_equal_failing_tuples() {
+    let database = db();
+    let bound = database.prepare(QUERY_Q).unwrap();
+    obs::enable();
+    database
+        .run(&bound, Engine::NestedRelational(Strategy::Original))
+        .unwrap();
+    let profile = obs::disable().unwrap();
+    let padded: Vec<_> = profile
+        .ops
+        .iter()
+        .filter(|(_, stats)| stats.padded > 0)
+        .collect();
+    assert!(
+        !padded.is_empty(),
+        "Query Q pseudo-selects: {:?}",
+        profile.ops
+    );
+    for (name, stats) in padded {
+        assert_eq!(
+            stats.padded,
+            stats.fail + stats.unknown,
+            "{name} pads each non-passing tuple exactly once"
+        );
+        assert_eq!(stats.rows_in, stats.rows_out, "{name} discards nothing");
+    }
+}
+
+/// With the collector off, instrumented queries record nothing, and
+/// `explain_analyze` leaves the collector off once it returns.
+#[test]
+fn counters_stay_zero_when_disabled() {
+    let database = db();
+    assert!(!obs::is_enabled());
+    database.query(QUERY_Q).unwrap();
+    let snap = obs::snapshot();
+    assert!(snap.is_empty(), "disabled run must record nothing");
+    assert!(snap.ops.is_empty());
+
+    database.explain_analyze(QUERY_Q).unwrap();
+    assert!(
+        !obs::is_enabled(),
+        "explain_analyze restores disabled state"
+    );
+    assert!(obs::snapshot().is_empty());
+}

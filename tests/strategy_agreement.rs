@@ -1,22 +1,24 @@
 //! Property-based agreement tests: random small databases (with NULLs)
 //! and randomly shaped nested queries; every execution strategy must match
-//! the tuple-iteration oracle.
-
-use proptest::prelude::*;
+//! the tuple-iteration oracle. Formerly proptest; now seeded-deterministic
+//! so the suite runs with no external crates.
 
 use nra::{Database, Engine, Strategy as NraStrategy};
+use nra_storage::rng::Pcg32;
 use nra_storage::{Column, ColumnType, Value};
 
 /// A cell: small domain so joins actually match; `None` is NULL.
-fn cell() -> impl proptest::strategy::Strategy<Value = Option<i64>> {
-    prop_oneof![
-        8 => (0i64..5).prop_map(Some),
-        1 => Just(None),
-    ]
+fn cell(rng: &mut Pcg32) -> Option<i64> {
+    if rng.bool(1.0 / 9.0) {
+        None
+    } else {
+        Some(rng.range_i64(0, 5))
+    }
 }
 
-fn rows() -> impl proptest::strategy::Strategy<Value = Vec<(Option<i64>, Option<i64>)>> {
-    proptest::collection::vec((cell(), cell()), 0..10)
+fn rows(rng: &mut Pcg32) -> Vec<(Option<i64>, Option<i64>)> {
+    let n = rng.index(10);
+    (0..n).map(|_| (cell(rng), cell(rng))).collect()
 }
 
 fn to_value(v: Option<i64>) -> Value {
@@ -38,21 +40,23 @@ enum Link {
     Agg(&'static str, &'static str),
 }
 
-fn link() -> impl proptest::strategy::Strategy<Value = Link> {
-    let op = || proptest::sample::select(vec!["<", "<=", ">", ">=", "=", "<>"]);
-    prop_oneof![
-        Just(Link::Exists),
-        Just(Link::NotExists),
-        Just(Link::In),
-        Just(Link::NotIn),
-        op().prop_flat_map(|op| {
-            proptest::sample::select(vec!["some", "all"]).prop_map(move |q| Link::Quant(op, q))
-        }),
-        op().prop_flat_map(|op| {
-            proptest::sample::select(vec!["min", "max", "sum", "avg", "count"])
-                .prop_map(move |f| Link::Agg(op, f))
-        }),
-    ]
+const CMP_OPS: [&str; 6] = ["<", "<=", ">", ">=", "=", "<>"];
+
+// Without the `*` clippy suggests, `choose`'s element type would be
+// inferred as unsized `str`.
+#[allow(clippy::explicit_auto_deref)]
+fn link(rng: &mut Pcg32) -> Link {
+    match rng.index(6) {
+        0 => Link::Exists,
+        1 => Link::NotExists,
+        2 => Link::In,
+        3 => Link::NotIn,
+        4 => Link::Quant(*rng.choose(&CMP_OPS), *rng.choose(&["some", "all"])),
+        _ => Link::Agg(
+            *rng.choose(&CMP_OPS),
+            *rng.choose(&["min", "max", "sum", "avg", "count"]),
+        ),
+    }
 }
 
 impl Link {
@@ -85,13 +89,14 @@ enum Corr {
     RootEq,
 }
 
-fn corr() -> impl proptest::strategy::Strategy<Value = Corr> {
-    prop_oneof![
-        1 => Just(Corr::None),
-        4 => Just(Corr::AdjacentEq),
-        2 => Just(Corr::AdjacentNe),
-        2 => Just(Corr::RootEq),
-    ]
+fn corr(rng: &mut Pcg32) -> Corr {
+    // Weights mirror the old proptest distribution: 1/4/2/2.
+    match rng.index(9) {
+        0 => Corr::None,
+        1..=4 => Corr::AdjacentEq,
+        5 | 6 => Corr::AdjacentNe,
+        _ => Corr::RootEq,
+    }
 }
 
 fn db_from(
@@ -179,16 +184,17 @@ fn check_all(db: &Database, sql: &str) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+/// One-level nested queries: every link operator × correlation shape.
+#[test]
+fn one_level_queries_agree() {
+    let mut rng = Pcg32::new(0x5eed_3001);
+    for _case in 0..64 {
+        let t0 = rows(&mut rng);
+        let t1 = rows(&mut rng);
+        let lk = link(&mut rng);
+        let cr = corr(&mut rng);
+        let with_local = rng.bool(0.5);
 
-    /// One-level nested queries: every link operator × correlation shape.
-    #[test]
-    fn one_level_queries_agree(
-        t0 in rows(), t1 in rows(),
-        lk in link(), cr in corr(),
-        with_local in any::<bool>(),
-    ) {
         let db = db_from(&t0, &t1, &[]);
         let mut body_parts = Vec::new();
         if let Some(c) = corr_sql(cr, "t1.c", "t0.a") {
@@ -206,15 +212,22 @@ proptest! {
         );
         check_all(&db, &sql);
     }
+}
 
-    /// Two-level chains: link × link × correlation (including non-adjacent
-    /// correlation back to the root, the paper's Query Q / Query 3 shape).
-    #[test]
-    fn two_level_queries_agree(
-        t0 in rows(), t1 in rows(), t2 in rows(),
-        lk1 in link(), lk2 in link(),
-        cr1 in corr(), cr2 in corr(),
-    ) {
+/// Two-level chains: link × link × correlation (including non-adjacent
+/// correlation back to the root, the paper's Query Q / Query 3 shape).
+#[test]
+fn two_level_queries_agree() {
+    let mut rng = Pcg32::new(0x5eed_3002);
+    for _case in 0..64 {
+        let t0 = rows(&mut rng);
+        let t1 = rows(&mut rng);
+        let t2 = rows(&mut rng);
+        let lk1 = link(&mut rng);
+        let lk2 = link(&mut rng);
+        let cr1 = corr(&mut rng);
+        let cr2 = corr(&mut rng);
+
         let db = db_from(&t0, &t1, &t2);
         let inner_corr = match cr2 {
             Corr::RootEq => corr_sql(cr2, "t2.e", "t0.a"),
@@ -233,14 +246,21 @@ proptest! {
         );
         check_all(&db, &sql);
     }
+}
 
-    /// Tree queries: two subqueries hanging off the root.
-    #[test]
-    fn tree_queries_agree(
-        t0 in rows(), t1 in rows(), t2 in rows(),
-        lk1 in link(), lk2 in link(),
-        cr1 in corr(), cr2 in corr(),
-    ) {
+/// Tree queries: two subqueries hanging off the root.
+#[test]
+fn tree_queries_agree() {
+    let mut rng = Pcg32::new(0x5eed_3003);
+    for _case in 0..64 {
+        let t0 = rows(&mut rng);
+        let t1 = rows(&mut rng);
+        let t2 = rows(&mut rng);
+        let lk1 = link(&mut rng);
+        let lk2 = link(&mut rng);
+        let cr1 = corr(&mut rng);
+        let cr2 = corr(&mut rng);
+
         let db = db_from(&t0, &t1, &t2);
         let b1 = corr_sql(cr1, "t1.c", "t0.a").unwrap_or_else(|| "1 = 1".to_string());
         let b2 = corr_sql(cr2, "t2.e", "t0.b").unwrap_or_else(|| "1 = 1".to_string());
