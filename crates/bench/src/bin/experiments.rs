@@ -5,6 +5,17 @@
 //! cargo run --release -p nra-bench --bin experiments -- [--scale 0.5] [--reps 3] [fig4 fig5 ...]
 //! ```
 //!
+//! Observability flags (see `nra_bench::baseline` for the regression
+//! tracker; baselines are committed at scale 0.02, so pass `--scale 0.02`
+//! when writing or checking):
+//!
+//! * `--profile` — write `BENCH_*.json` per-operator profiles to the cwd
+//! * `--baseline-write` — refresh `crates/bench/baselines/BENCH_*.json`
+//! * `--baseline-check` — diff fresh profiles against the committed
+//!   baselines; non-zero exit + per-operator delta table on regression
+//! * `--wall-factor <f>` — wall-time tolerance band for the check
+//! * `--trace` — trace the paper's Query Q, write `TRACE_QQ.jsonl`
+//!
 //! Figures (paper → here):
 //!
 //! * Fig 4  — Query 1 (`> ALL`), outer 4K–16K; native = nested iteration
@@ -29,6 +40,17 @@ struct Args {
     /// Write `BENCH_*.json` per-operator execution profiles
     /// (`--profile`, or the `NRA_OBS=1` environment variable).
     profile: bool,
+    /// Refresh the committed baselines under `crates/bench/baselines/`.
+    baseline_write: bool,
+    /// Compare fresh profiles against the committed baselines; exit
+    /// non-zero with a per-operator delta table on regression.
+    baseline_check: bool,
+    /// Wall-time tolerance factor for `--baseline-check`
+    /// (`--wall-factor`, default 10).
+    wall_factor: f64,
+    /// Write `TRACE_QQ.jsonl`: the query-lifecycle trace of the paper's
+    /// Query Q.
+    trace: bool,
     figures: Vec<String>,
 }
 
@@ -37,6 +59,10 @@ fn parse_args() -> Args {
         scale: 0.5,
         reps: 3,
         profile: std::env::var("NRA_OBS").is_ok_and(|v| v == "1"),
+        baseline_write: false,
+        baseline_check: false,
+        wall_factor: baseline::Tolerance::default().wall_factor,
+        trace: false,
         figures: vec![],
     };
     let mut it = std::env::args().skip(1);
@@ -55,6 +81,15 @@ fn parse_args() -> Args {
                     .expect("--reps takes an integer")
             }
             "--profile" => args.profile = true,
+            "--baseline-write" => args.baseline_write = true,
+            "--baseline-check" => args.baseline_check = true,
+            "--wall-factor" => {
+                args.wall_factor = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--wall-factor takes a number")
+            }
+            "--trace" => args.trace = true,
             other => args.figures.push(other.to_string()),
         }
     }
@@ -330,15 +365,41 @@ fn main() {
     if wanted(&args, "ext-agg") {
         ext_agg(&strict, &args);
     }
-    if args.profile {
-        write_profiles(&strict, &nullable, &args);
+    if args.trace {
+        trace_query_q();
+    }
+    if args.profile || args.baseline_write || args.baseline_check {
+        let profiles = collect_profiles(&strict, &nullable, &args);
+        if args.profile {
+            let dir = std::env::current_dir().expect("cwd");
+            println!("### Execution profiles\n");
+            for qp in &profiles {
+                let path = qp.write_to(&dir).expect("write profile artifact");
+                println!("- wrote {}", path.display());
+            }
+            println!();
+        }
+        if args.baseline_write {
+            println!("### Baselines\n");
+            for qp in &profiles {
+                let path = baseline::write_baseline(qp).expect("write baseline");
+                println!("- wrote {}", path.display());
+            }
+            println!();
+        }
+        if args.baseline_check {
+            check_baselines(&profiles, &args);
+        }
     }
 }
 
-/// Write per-operator execution profiles for the headline queries: every
-/// series runs once under the observability collector + I/O simulator, and
-/// the artifact lands as `BENCH_<name>.json` in the working directory.
-fn write_profiles(strict: &Catalog, nullable: &Catalog, args: &Args) {
+/// Collect per-operator execution profiles for the headline queries: every
+/// series runs once under the observability collector + I/O simulator.
+fn collect_profiles(
+    strict: &Catalog,
+    nullable: &Catalog,
+    args: &Args,
+) -> Vec<profile::QueryProfile> {
     let grid = paper_grid(args.scale);
     let q1_outer = *grid.q1_outer.last().unwrap();
     let queries: Vec<(&str, &Catalog, String)> = vec![
@@ -364,13 +425,58 @@ fn write_profiles(strict: &Catalog, nullable: &Catalog, args: &Args) {
             ),
         ),
     ];
-    let dir = std::env::current_dir().expect("cwd");
-    println!("### Execution profiles\n");
-    for (name, cat, sql) in queries {
-        let pq = PreparedQuery::new(cat, sql).unwrap();
-        let qp = profile::QueryProfile::collect(name, &pq, args.scale);
-        let path = qp.write_to(&dir).expect("write profile artifact");
-        println!("- wrote {}", path.display());
+    queries
+        .into_iter()
+        .map(|(name, cat, sql)| {
+            let pq = PreparedQuery::new(cat, sql).unwrap();
+            profile::QueryProfile::collect(name, &pq, args.scale)
+        })
+        .collect()
+}
+
+/// `--baseline-check`: exact diff on counters and I/O pages, tolerance
+/// band on wall time, non-zero exit with a delta table on regression.
+fn check_baselines(profiles: &[profile::QueryProfile], args: &Args) {
+    let tol = baseline::Tolerance {
+        wall_factor: args.wall_factor,
+        ..baseline::Tolerance::default()
+    };
+    println!("### Baseline check\n");
+    let mut failed = false;
+    for qp in profiles {
+        match baseline::check_profile(qp, &tol) {
+            Ok(report) => {
+                print!("{}", report.render_markdown());
+                failed |= !report.passed();
+            }
+            Err(e) => {
+                println!("- `{}`: **error** — {e}", qp.name);
+                failed = true;
+            }
+        }
     }
     println!();
+    if failed {
+        eprintln!("baseline check FAILED (see delta tables above)");
+        std::process::exit(1);
+    }
+    println!("baseline check passed\n");
+}
+
+/// `--trace`: run the paper's Query Q over the Section 2 example catalog
+/// with query-lifecycle tracing, print the span tree, and write the JSONL
+/// event stream as `TRACE_QQ.jsonl` (the CI artifact).
+fn trace_query_q() {
+    let db = nra::Database::from_catalog(nra::tpch::paper_example::rst_catalog());
+    let (rel, trace) = db
+        .trace_query(nra::tpch::paper_example::QUERY_Q)
+        .expect("paper's Query Q runs");
+    println!("### Query-lifecycle trace of the paper's Query Q\n");
+    println!("```");
+    print!("{}", trace.render_tree());
+    println!("-- {} row(s)", rel.len());
+    println!("```\n");
+    let path = std::env::current_dir().expect("cwd").join("TRACE_QQ.jsonl");
+    std::fs::write(&path, trace.to_jsonl()).expect("write trace artifact");
+    println!("- wrote {}\n", path.display());
 }

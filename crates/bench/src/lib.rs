@@ -10,13 +10,14 @@
 //!   selection passes;
 //! * **NR-optimized** — the single-sort pipelined cascade.
 
+pub mod baseline;
 pub mod harness;
 pub mod profile;
 
 use std::time::{Duration, Instant};
 
 use nra_engine::baseline::nested_iter::NestedIterPlan;
-use nra_engine::baseline::{self, BaselineChoice};
+use nra_engine::baseline::{self as native_baseline, BaselineChoice};
 use nra_engine::EngineError;
 use nra_sql::BoundQuery;
 use nra_storage::iosim::{self, IoConfig, IoStats};
@@ -58,7 +59,7 @@ pub struct PreparedQuery<'a> {
 impl<'a> PreparedQuery<'a> {
     pub fn new(catalog: &'a Catalog, sql: String) -> Result<PreparedQuery<'a>, EngineError> {
         let bound = nra_sql::parse_and_bind(&sql, catalog)?;
-        let native_plan = match baseline::choose(&bound, catalog) {
+        let native_plan = match native_baseline::choose(&bound, catalog) {
             BaselineChoice::NestedIteration => Some(NestedIterPlan::prepare(&bound, catalog)?),
             BaselineChoice::SemiAntiCascade | BaselineChoice::PositiveUnnest => None,
         };
@@ -75,7 +76,7 @@ impl<'a> PreparedQuery<'a> {
         match series {
             Series::Native => match &self.native_plan {
                 Some(plan) => plan.run(),
-                None => baseline::execute(&self.bound, self.catalog),
+                None => native_baseline::execute(&self.bound, self.catalog),
             },
             Series::NrOriginal => nra_core::execute_original(&self.bound, self.catalog),
             Series::NrOptimized => nra_core::execute_optimized(&self.bound, self.catalog),
@@ -84,7 +85,7 @@ impl<'a> PreparedQuery<'a> {
 
     /// What the native series actually does (for table footnotes).
     pub fn native_plan_label(&self) -> String {
-        baseline::describe(&self.bound, self.catalog)
+        native_baseline::describe(&self.bound, self.catalog)
     }
 
     /// Time one series: runs `reps` times, returns (mean seconds, rows).

@@ -10,6 +10,7 @@
 
 use std::io::Write as _;
 
+use nra_obs::json::write_string as json_string;
 use nra_obs::Profile;
 use nra_storage::iosim::{self, IoConfig};
 
@@ -85,22 +86,6 @@ impl QueryProfile {
         f.write_all(b"\n")?;
         Ok(path)
     }
-}
-
-fn json_string(out: &mut String, s: &str) {
-    out.push('"');
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
 }
 
 #[cfg(test)]

@@ -62,6 +62,18 @@ pub fn execute_with_style(
     catalog: &Catalog,
     style: NestStyle,
 ) -> Result<Relation, EngineError> {
+    if style == NestStyle::Fused && query.root.block_count() > 1 {
+        // §4.2.2: each separate υ-then-σ pair becomes one fused operator.
+        nra_obs::trace::emit(|| {
+            let tree = crate::tree_expr::TreeExpr::build(query);
+            let edges = tree.node_count() - 1;
+            nra_obs::trace::TraceEvent::RewriteStep {
+                rule: "fuse-nest-select".to_string(),
+                nodes_before: tree.op_count(),
+                nodes_after: tree.op_count() - edges,
+            }
+        });
+    }
     let modes = edge_modes(query);
     let ctx = Ctx {
         catalog,

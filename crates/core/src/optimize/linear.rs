@@ -124,6 +124,19 @@ pub fn execute_bottom_up_pushdown(
     let (blocks, edges) = chain(query);
     let n = blocks.len();
 
+    if n > 1 {
+        // §4.2.4: the nest commutes below the join (same operator count,
+        // but the nest now runs on the smaller, pre-join input).
+        nra_obs::trace::emit(|| {
+            let ops = crate::tree_expr::TreeExpr::build(query).op_count();
+            nra_obs::trace::TraceEvent::RewriteStep {
+                rule: "nest-past-join".to_string(),
+                nodes_before: ops,
+                nodes_after: ops,
+            }
+        });
+    }
+
     let mut reduced: Option<Relation> = None;
     for k in (0..n).rev() {
         let mut rel = {

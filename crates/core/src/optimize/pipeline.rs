@@ -89,6 +89,19 @@ pub fn execute_linear_cascade(
 ) -> Result<Relation, EngineError> {
     let (blocks, edges) = chain(query);
 
+    if !edges.is_empty() {
+        // §4.2.1: per-level υ + σ pairs collapse into one physical sort
+        // plus per-level selections folded into the group scan.
+        nra_obs::trace::emit(|| {
+            let n = blocks.len();
+            nra_obs::trace::TraceEvent::RewriteStep {
+                rule: "single-sort-cascade".to_string(),
+                nodes_before: crate::tree_expr::TreeExpr::build(query).op_count(),
+                nodes_after: 2 + n + 2 * (n - 1),
+            }
+        });
+    }
+
     // Phase 1 (top-down): the unnesting outer joins.
     let mut rel = prepare_base(blocks[0], catalog)?;
     for edge in &edges {

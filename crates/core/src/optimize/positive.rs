@@ -34,6 +34,19 @@ pub fn execute_positive_rewrite(
              EXISTS, SOME/ANY or IN",
         ));
     }
+    if query.root.block_count() > 1 {
+        // §4.2.5: every ⟕ + υ + σ triple collapses into one (generalized)
+        // semijoin, leaving π, the base inputs, and one semijoin per edge.
+        nra_obs::trace::emit(|| {
+            let tree = crate::tree_expr::TreeExpr::build(query);
+            let n = tree.node_count();
+            nra_obs::trace::TraceEvent::RewriteStep {
+                rule: "positive-semijoin-rewrite".to_string(),
+                nodes_before: tree.op_count(),
+                nodes_after: 2 * n,
+            }
+        });
+    }
     // The rewrite itself is the classical one existing optimizers use —
     // the engine's baseline hosts the single implementation; this module
     // contributes the algebraic justification (and the strategy surface).

@@ -164,6 +164,23 @@ impl TreeExpr {
         }
     }
 
+    /// Number of `T_i` nodes (query blocks) in the tree expression.
+    pub fn node_count(&self) -> usize {
+        fn count(n: &TreeNode) -> usize {
+            1 + n.children.iter().map(|e| count(&e.node)).sum::<usize>()
+        }
+        count(&self.root)
+    }
+
+    /// Number of operators in the Algorithm-1 pipeline this tree compiles
+    /// to: the root π, one base input per block, and σ + υ + ⟕ per edge.
+    /// Rewrites report their effect as a delta against this count in
+    /// `RewriteStep` trace events.
+    pub fn op_count(&self) -> usize {
+        let blocks = self.node_count();
+        1 + blocks + 3 * (blocks - 1)
+    }
+
     /// Render the Algorithm-1 operator pipeline (the paper's Figure 3b):
     /// the projection on top, then per edge (in evaluation order) the
     /// linking selection, the nest, and the left outer join below it.

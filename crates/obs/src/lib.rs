@@ -30,6 +30,9 @@
 //! simulator is enabled, so one artifact carries both CPU-side operator
 //! stats and the simulated disk story.
 
+pub mod json;
+pub mod trace;
+
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::time::Instant;
@@ -123,7 +126,6 @@ struct Collector {
     /// Insertion order of qualified names, for stable reporting.
     order: Vec<String>,
     ops: HashMap<String, OpStats>,
-    scopes: Vec<String>,
 }
 
 impl Collector {
@@ -140,6 +142,9 @@ impl Collector {
 
 thread_local! {
     static COLLECTOR: RefCell<Option<Collector>> = const { RefCell::new(None) };
+    /// The scope-label stack, shared by the stats collector and the
+    /// tracer so both qualify operators identically.
+    static SCOPES: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Start collecting on this thread (clears any previous collection).
@@ -148,7 +153,6 @@ pub fn enable() {
         *c.borrow_mut() = Some(Collector {
             order: Vec::new(),
             ops: HashMap::new(),
-            scopes: Vec::new(),
         });
     });
 }
@@ -208,47 +212,49 @@ fn io_snapshot() -> Option<IoStats> {
 
 /// A scope label (typically a query-block id like `b2`) qualifying every
 /// span or record made while it is alive. Only the innermost scope
-/// applies — recursive executors replace rather than concatenate.
+/// applies — recursive executors replace rather than concatenate. When the
+/// tracer is active, the scope is also a trace phase, so operator events
+/// nest under their block in the span tree.
 pub struct Scope {
     active: bool,
+    /// Keeps the trace phase open for the scope's lifetime.
+    _phase: Option<trace::PhaseGuard>,
 }
 
-/// Push a scope label. The closure is only invoked when collection is
-/// enabled, so disabled runs pay no formatting.
+/// Push a scope label. The closure is only invoked when collection or
+/// tracing is enabled, so disabled runs pay no formatting.
 pub fn scope<F: FnOnce() -> String>(label: F) -> Scope {
-    let active = COLLECTOR.with(|c| {
-        let mut b = c.borrow_mut();
-        match &mut *b {
-            Some(col) => {
-                col.scopes.push(label());
-                true
-            }
-            None => false,
-        }
-    });
-    Scope { active }
+    let traced = trace::enabled();
+    if !is_enabled() && !traced {
+        return Scope {
+            active: false,
+            _phase: None,
+        };
+    }
+    let label = label();
+    let phase = traced.then(|| trace::phase_str(label.clone()));
+    SCOPES.with(|s| s.borrow_mut().push(label));
+    Scope {
+        active: true,
+        _phase: phase,
+    }
 }
 
 impl Drop for Scope {
     fn drop(&mut self) {
         if self.active {
-            COLLECTOR.with(|c| {
-                if let Some(col) = &mut *c.borrow_mut() {
-                    col.scopes.pop();
-                }
+            SCOPES.with(|s| {
+                s.borrow_mut().pop();
             });
         }
     }
 }
 
 /// Qualify `name` with the innermost active scope (`scope/name`), or
-/// return it unchanged when no scope is active or collection is off.
+/// return it unchanged when no scope is active.
 pub fn qualified(name: &str) -> String {
-    COLLECTOR.with(|c| match &*c.borrow() {
-        Some(col) => match col.scopes.last() {
-            Some(s) => format!("{s}/{name}"),
-            None => name.to_string(),
-        },
+    SCOPES.with(|s| match s.borrow().last() {
+        Some(scope) => format!("{scope}/{name}"),
         None => name.to_string(),
     })
 }
@@ -257,19 +263,25 @@ struct SpanInner {
     name: String,
     start: Instant,
     stats: OpStats,
+    /// Merge into the stats collector on drop (collection was enabled at
+    /// creation; a span may also be live for the tracer alone).
+    collect: bool,
 }
 
 /// A span timer: accumulates counters locally and merges them (plus wall
-/// time) into the collector on drop. Inert (`None` inner, no allocation)
-/// when collection is disabled.
+/// time) into the collector on drop; when the tracer is active it also
+/// emits a [`trace::TraceEvent::Op`] under the same qualified name, which
+/// is what lets traces and profiles correlate. Inert (`None` inner, no
+/// allocation) when both collection and tracing are disabled.
 pub struct Span {
     inner: Option<Box<SpanInner>>,
 }
 
 /// Open a span under the current scope. The name closure is only invoked
-/// when collection is enabled.
+/// when collection or tracing is enabled.
 pub fn span<F: FnOnce() -> String>(name: F) -> Span {
-    if !is_enabled() {
+    let collect = is_enabled();
+    if !collect && !trace::enabled() {
         return Span { inner: None };
     }
     let name = qualified(&name());
@@ -281,6 +293,7 @@ pub fn span<F: FnOnce() -> String>(name: F) -> Span {
                 invocations: 1,
                 ..OpStats::default()
             },
+            collect,
         })),
     }
 }
@@ -345,10 +358,18 @@ impl Drop for Span {
         if let Some(inner) = self.inner.take() {
             let mut inner = *inner;
             inner.stats.wall_ns += inner.start.elapsed().as_nanos() as u64;
-            COLLECTOR.with(|c| {
-                if let Some(col) = &mut *c.borrow_mut() {
-                    col.merge(&inner.name, &inner.stats);
-                }
+            if inner.collect {
+                COLLECTOR.with(|c| {
+                    if let Some(col) = &mut *c.borrow_mut() {
+                        col.merge(&inner.name, &inner.stats);
+                    }
+                });
+            }
+            trace::emit(|| trace::TraceEvent::Op {
+                name: inner.name.clone(),
+                wall_ns: inner.stats.wall_ns,
+                rows_in: inner.stats.rows_in,
+                rows_out: inner.stats.rows_out,
             });
         }
     }
@@ -419,7 +440,7 @@ impl Profile {
                 out.push_str(", ");
             }
             out.push_str("{\"name\": ");
-            json_string(&mut out, name);
+            json::write_string(&mut out, name);
             for (key, v) in [
                 ("invocations", s.invocations),
                 ("rows_in", s.rows_in),
@@ -462,22 +483,6 @@ impl Profile {
         out.push_str(&format!(", \"total_wall_ns\": {}}}", self.total_wall_ns()));
         out
     }
-}
-
-fn json_string(out: &mut String, s: &str) {
-    out.push('"');
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
 }
 
 #[cfg(test)]
@@ -599,9 +604,40 @@ mod tests {
     }
 
     #[test]
-    fn json_escapes_strings() {
-        let mut out = String::new();
-        json_string(&mut out, "a\"b\\c\nd");
-        assert_eq!(out, "\"a\\\"b\\\\c\\nd\"");
+    fn json_escapes_qualified_names() {
+        enable();
+        {
+            let _s = scope(|| "b\"2\\".to_string());
+            span(|| "υ-nest".to_string()).rows_out(1);
+        }
+        let json = disable().unwrap().to_json();
+        assert!(json.contains("\"name\": \"b\\\"2\\\\/υ-nest\""), "{json}");
+        let parsed = json::Json::parse(&json).unwrap();
+        let ops = parsed.get("ops").unwrap().as_arr().unwrap();
+        assert_eq!(ops[0].get("name").unwrap().as_str(), Some("b\"2\\/υ-nest"));
+    }
+
+    #[test]
+    fn span_emits_trace_op_event_without_collector() {
+        assert!(!is_enabled());
+        let (sink, handle) = trace::RingSink::with_capacity(16);
+        trace::start(vec![Box::new(sink)]);
+        {
+            let _s = scope(|| "b9".to_string());
+            let mut sp = span(|| "join".to_string());
+            assert!(sp.active(), "span is live for the tracer alone");
+            sp.rows_in(3);
+            sp.rows_out(1);
+        }
+        trace::stop();
+        // Nothing reached the (disabled) stats collector...
+        assert!(snapshot().is_empty());
+        // ...but the tracer saw the block phase and the qualified op.
+        let t = handle.take();
+        assert!(t.events().any(|e| matches!(
+            e,
+            trace::TraceEvent::Op { name, rows_in: 3, rows_out: 1, .. } if name == "b9/join"
+        )));
+        assert!(t.phase_wall_ns("b9").is_some());
     }
 }

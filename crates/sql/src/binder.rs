@@ -19,7 +19,12 @@ use crate::bound::{BExpr, BPred};
 use crate::error::SqlError;
 
 /// Bind a parsed statement against a catalog.
+///
+/// When query-lifecycle tracing is active ([`nra_obs::trace`]), binding
+/// runs under a `bind` phase and a `Bound` event reports the block count
+/// and the linking operators found during block analysis.
 pub fn bind(stmt: &SelectStmt, catalog: &Catalog) -> Result<BoundQuery, SqlError> {
+    let _phase = nra_obs::trace::phase(|| "bind".to_string());
     let mut binder = Binder {
         catalog,
         used_names: HashSet::new(),
@@ -29,11 +34,16 @@ pub fn bind(stmt: &SelectStmt, catalog: &Catalog) -> Result<BoundQuery, SqlError
     let mut scopes = Vec::new();
     let (root, _, _) = binder.bind_block(stmt, &mut scopes, BlockRole::Root)?;
     let num_blocks = binder.next_id - 1;
-    Ok(BoundQuery {
+    let query = BoundQuery {
         root,
         qualifier_block: binder.qualifier_block,
         num_blocks,
-    })
+    };
+    nra_obs::trace::emit(|| nra_obs::trace::TraceEvent::Bound {
+        blocks: query.num_blocks,
+        linking_ops: query.link_ops().iter().map(|op| op.describe()).collect(),
+    });
+    Ok(query)
 }
 
 /// Convenience: parse then bind.

@@ -22,8 +22,14 @@ pub fn parse(input: &str) -> Result<SelectStmt, SqlError> {
 /// Parse a full query: `SELECT ... [UNION/INTERSECT/EXCEPT [ALL] SELECT
 /// ...]* [ORDER BY expr [ASC|DESC], ...] [LIMIT n]`, optionally
 /// `;`-terminated.
+///
+/// When query-lifecycle tracing is active ([`nra_obs::trace`]), the whole
+/// lex + parse runs under a `parse` phase and a `Parsed` event reports the
+/// token count.
 pub fn parse_query(input: &str) -> Result<Query, SqlError> {
+    let _phase = nra_obs::trace::phase(|| "parse".to_string());
     let tokens = lex(input)?;
+    let ntokens = tokens.len();
     let mut p = Parser { tokens, pos: 0 };
     let first = p.select_stmt()?;
 
@@ -83,6 +89,7 @@ pub fn parse_query(input: &str) -> Result<Query, SqlError> {
         p.advance();
     }
     p.expect(TokenKind::Eof)?;
+    nra_obs::trace::emit(|| nra_obs::trace::TraceEvent::Parsed { tokens: ntokens });
     Ok(Query {
         first,
         compounds,

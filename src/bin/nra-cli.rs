@@ -16,9 +16,21 @@
 //! :tables                       list tables with row counts
 //! :engine <auto|original|optimized|bottomup|pushdown|positive|baseline|oracle>
 //! :explain <sql>                plan choices + the paper's tree expression
+//! :analyze <sql>                EXPLAIN ANALYZE: plan + measured stats
+//! :trace <sql>                  query-lifecycle trace (parse/bind/plan/execute)
 //! :timing on|off                print execution time per query
 //! :quit
 //! ```
+//!
+//! Batch mode (non-interactive, for scripts and CI):
+//!
+//! ```sh
+//! nra-cli [--paper | --tpch <scale>] --explain-analyze "<sql>"
+//! nra-cli [--paper | --tpch <scale>] --trace ["<sql>"]
+//! ```
+//!
+//! `--paper` loads the Section 2 running example (`R`/`S`/`T`); with it
+//! the SQL argument may be omitted and defaults to the paper's Query Q.
 
 use std::io::{BufRead, BufReader, Write};
 use std::time::Instant;
@@ -35,6 +47,14 @@ struct Shell {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if !args.is_empty() {
+        if let Err(e) = run_batch(&args) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
     let mut shell = Shell {
         db: Database::new(),
         engine: Engine::default(),
@@ -68,6 +88,71 @@ fn main() {
     }
 }
 
+/// `nra-cli [--paper | --tpch <scale>] (--explain-analyze | --trace) ["<sql>"]`
+fn run_batch(args: &[String]) -> Result<(), String> {
+    let mut db: Option<Database> = None;
+    let mut mode: Option<&str> = None;
+    let mut sql: Option<String> = None;
+    let mut paper = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--paper" => {
+                db = Some(Database::from_catalog(
+                    nra::tpch::paper_example::rst_catalog(),
+                ));
+                paper = true;
+            }
+            "--tpch" => {
+                i += 1;
+                let scale: f64 = args
+                    .get(i)
+                    .ok_or("--tpch takes a scale factor")?
+                    .parse()
+                    .map_err(|_| "--tpch takes a numeric scale factor".to_string())?;
+                db = Some(Database::from_catalog(nra::tpch::generate(
+                    &nra::tpch::TpchConfig::scaled(scale),
+                )));
+            }
+            m @ ("--explain-analyze" | "--trace") => {
+                mode = Some(m);
+                if let Some(next) = args.get(i + 1) {
+                    if !next.starts_with("--") {
+                        sql = Some(next.clone());
+                        i += 1;
+                    }
+                }
+            }
+            other => {
+                return Err(format!(
+                    "unknown argument `{other}`; usage: nra-cli [--paper | --tpch <scale>] \
+                     (--explain-analyze | --trace) [\"<sql>\"]"
+                ))
+            }
+        }
+        i += 1;
+    }
+    let mode = mode.ok_or("batch mode needs --explain-analyze or --trace")?;
+    let db = db.unwrap_or_else(|| {
+        paper = true;
+        Database::from_catalog(nra::tpch::paper_example::rst_catalog())
+    });
+    let sql = match sql {
+        Some(s) => s,
+        None if paper => nra::tpch::paper_example::QUERY_Q.to_string(),
+        None => return Err(format!("{mode} needs a SQL argument")),
+    };
+    match mode {
+        "--explain-analyze" => print!("{}", db.explain_analyze(&sql).map_err(err)?),
+        _ => {
+            let (rel, trace) = db.trace_query(&sql).map_err(err)?;
+            print!("{}", trace.render_tree());
+            println!("-- {} row(s)", rel.len());
+        }
+    }
+    Ok(())
+}
+
 impl Shell {
     fn dispatch(&mut self, input: &str) -> Result<(), String> {
         if let Some(rest) = input.strip_prefix(':') {
@@ -92,6 +177,16 @@ impl Shell {
                 }
                 "engine" => self.cmd_engine(args),
                 "explain" => self.cmd_explain(args),
+                "analyze" => {
+                    print!("{}", self.db.explain_analyze(args).map_err(err)?);
+                    Ok(())
+                }
+                "trace" => {
+                    let (rel, trace) = self.db.trace_query(args).map_err(err)?;
+                    print!("{}", trace.render_tree());
+                    println!("-- {} row(s)", rel.len());
+                    Ok(())
+                }
                 "timing" => {
                     self.timing = args.eq_ignore_ascii_case("on");
                     println!("timing {}", if self.timing { "on" } else { "off" });
@@ -258,6 +353,8 @@ const HELP: &str = "\
 :tables                       list tables with row counts
 :engine <auto|original|optimized|bottomup|pushdown|positive|baseline|oracle>
 :explain <sql>                plan choices + the paper's tree expression
+:analyze <sql>                EXPLAIN ANALYZE: plan + measured stats
+:trace <sql>                  query-lifecycle trace (parse/bind/plan/execute)
 :timing on|off                print execution time per query
 :quit                         exit
 anything else                 executed as SQL";

@@ -309,6 +309,50 @@ impl Database {
         }
         Ok(out)
     }
+
+    /// Execute `sql` with query-lifecycle tracing ([`obs::trace`]) and
+    /// return both the result and the captured trace: a hierarchical
+    /// record of the parse, bind, plan and execute phases with their wall
+    /// times, the `Bound` summary (block count, linking operators), one
+    /// `StrategyChosen` event per query block explaining why the planner
+    /// picked its strategy there (plus the rejected alternatives),
+    /// `RewriteStep` events for the §4.2 transformations applied, and one
+    /// `Op` event per executed operator using the same qualified names as
+    /// [`obs::Profile`] so traces and profiles correlate.
+    ///
+    /// Runs with the default engine (nested relational, auto strategy).
+    /// Events are captured in an in-memory ring buffer (up to 4096
+    /// entries); the environment sinks also apply, so `NRA_TRACE=1`
+    /// mirrors the trace to stderr and `NRA_TRACE_FILE=path` appends it
+    /// as JSONL. Any tracer already installed on this thread is replaced,
+    /// and tracing is left disabled on return.
+    pub fn trace_query(&self, sql: &str) -> Result<(Relation, obs::trace::Trace), NraError> {
+        use nra_obs::trace::{self, TraceEvent};
+        let (ring, handle) = trace::RingSink::with_capacity(4096);
+        let mut sinks: Vec<Box<dyn trace::TraceSink>> = vec![Box::new(ring)];
+        sinks.extend(trace::env_sinks());
+        trace::start(sinks);
+        let started = std::time::Instant::now();
+        trace::emit(|| TraceEvent::QueryStart {
+            sql: sql.to_string(),
+        });
+        let result = (|| -> Result<Relation, NraError> {
+            let bound = self.prepare(sql)?;
+            let mut exec = trace::phase(|| "execute".to_string());
+            let rel = self.run(&bound, Engine::default())?;
+            exec.set_rows(rel.len() as u64);
+            Ok(rel)
+        })();
+        if let Ok(rel) = &result {
+            let rows = rel.len() as u64;
+            trace::emit(|| TraceEvent::QueryEnd {
+                rows,
+                wall_ns: started.elapsed().as_nanos() as u64,
+            });
+        }
+        trace::stop();
+        Ok((result?, handle.take()))
+    }
 }
 
 #[cfg(test)]
