@@ -15,6 +15,9 @@
 //!   baselines; non-zero exit + per-operator delta table on regression
 //! * `--wall-factor <f>` — wall-time tolerance band for the check
 //! * `--trace` — trace the paper's Query Q, write `TRACE_QQ.jsonl`
+//! * `--threads <n>` — worker budget for the partition-parallel executor
+//!   (also enables the `parallel` section: sequential vs parallel wall
+//!   time on Q2a/Q2b for the nested relational series)
 //!
 //! Figures (paper → here):
 //!
@@ -51,6 +54,9 @@ struct Args {
     /// Write `TRACE_QQ.jsonl`: the query-lifecycle trace of the paper's
     /// Query Q.
     trace: bool,
+    /// Worker budget for the partition-parallel executor (`--threads`;
+    /// default: the `NRA_THREADS` environment variable, else 1).
+    threads: Option<usize>,
     figures: Vec<String>,
 }
 
@@ -63,6 +69,7 @@ fn parse_args() -> Args {
         baseline_check: false,
         wall_factor: baseline::Tolerance::default().wall_factor,
         trace: false,
+        threads: None,
         figures: vec![],
     };
     let mut it = std::env::args().skip(1);
@@ -90,6 +97,13 @@ fn parse_args() -> Args {
                     .expect("--wall-factor takes a number")
             }
             "--trace" => args.trace = true,
+            "--threads" => {
+                args.threads = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--threads takes a worker count"),
+                )
+            }
             other => args.figures.push(other.to_string()),
         }
     }
@@ -298,9 +312,14 @@ fn nrcost(cat: &Catalog, args: &Args) {
 
 fn main() {
     let args = parse_args();
+    let _thread_budget = args
+        .threads
+        .map(|n| nra::engine::exec::set_threads(Some(n)));
     println!(
-        "# Paper experiment reproduction (scale {}, {} reps per point)\n",
-        args.scale, args.reps
+        "# Paper experiment reproduction (scale {}, {} reps per point, {} thread(s))\n",
+        args.scale,
+        args.reps,
+        nra::engine::exec::threads()
     );
     eprintln!("generating data at scale {} ...", args.scale);
     let strict = bench_catalog(args.scale);
@@ -365,6 +384,9 @@ fn main() {
     if wanted(&args, "ext-agg") {
         ext_agg(&strict, &args);
     }
+    if wanted(&args, "parallel") && args.threads.is_some_and(|n| n > 1) {
+        parallel_speedup(&strict, &nullable, &args);
+    }
     if args.trace {
         trace_query_q();
     }
@@ -391,6 +413,54 @@ fn main() {
             check_baselines(&profiles, &args);
         }
     }
+}
+
+/// The tentpole's headline measurement: wall time of the nested relational
+/// series on the join-heavy Query 2 variants, sequential vs the
+/// `--threads` budget, on identical data. The result relations are
+/// asserted identical, so any speedup is pure scheduling.
+fn parallel_speedup(strict: &Catalog, nullable: &Catalog, args: &Args) {
+    let threads = args.threads.unwrap_or(1);
+    let grid = paper_grid(args.scale);
+    let part = *grid.q23_part.last().unwrap();
+    let queries: Vec<(&str, &Catalog, String)> = vec![
+        (
+            "Q2A",
+            strict,
+            q2_sql(strict, Quant::Any, part, grid.q23_partsupp),
+        ),
+        (
+            "Q2B",
+            nullable,
+            q2_sql(nullable, Quant::All, part, grid.q23_partsupp),
+        ),
+    ];
+    println!("### Partition-parallel speedup (1 thread vs {threads} threads)\n");
+    println!("| query | series | 1 thread (s) | {threads} threads (s) | speedup | rows |");
+    println!("|---|---|---|---|---|---|");
+    for (name, cat, sql) in &queries {
+        let pq = PreparedQuery::new(cat, sql.clone()).unwrap();
+        for series in [Series::NrOriginal, Series::NrOptimized] {
+            let (seq_secs, seq_rows) = {
+                let _g = nra::engine::exec::set_threads(Some(1));
+                pq.time(series, args.reps)
+            };
+            let (par_secs, par_rows) = {
+                let _g = nra::engine::exec::set_threads(Some(threads));
+                pq.time(series, args.reps)
+            };
+            assert_eq!(
+                seq_rows, par_rows,
+                "parallel execution changed the result of {name} ({series:?})"
+            );
+            println!(
+                "| {name} | {} | {seq_secs:.4} | {par_secs:.4} | {} | {seq_rows} |",
+                series.label(),
+                speedup(seq_secs, par_secs)
+            );
+        }
+    }
+    println!();
 }
 
 /// Collect per-operator execution profiles for the headline queries: every
@@ -468,13 +538,17 @@ fn check_baselines(profiles: &[profile::QueryProfile], args: &Args) {
 /// event stream as `TRACE_QQ.jsonl` (the CI artifact).
 fn trace_query_q() {
     let db = nra::Database::from_catalog(nra::tpch::paper_example::rst_catalog());
-    let (rel, trace) = db
-        .trace_query(nra::tpch::paper_example::QUERY_Q)
+    let out = db
+        .execute(
+            nra::tpch::paper_example::QUERY_Q,
+            &nra::QueryOptions::new().collect_trace(true),
+        )
         .expect("paper's Query Q runs");
+    let trace = out.trace.expect("trace collected");
     println!("### Query-lifecycle trace of the paper's Query Q\n");
     println!("```");
     print!("{}", trace.render_tree());
-    println!("-- {} row(s)", rel.len());
+    println!("-- {} row(s)", out.rows.len());
     println!("```\n");
     let path = std::env::current_dir().expect("cwd").join("TRACE_QQ.jsonl");
     std::fs::write(&path, trace.to_jsonl()).expect("write trace artifact");

@@ -22,6 +22,14 @@
 //! members whose marker is `NULL` are excluded before the comparison, so an
 //! all-padding group behaves as the empty set.
 
+//! Both selection flavors evaluate each tuple independently, so the scans
+//! are morsel-parallel under `nra_engine::exec`: contiguous tuple chunks
+//! are evaluated (and, for `σ̄`, padded) on workers, the chunk outputs are
+//! concatenated in partition order, and per-worker outcome counters are
+//! absorbed into the operator span in the same order — output and profile
+//! counters match the sequential scan exactly.
+
+use nra_engine::exec;
 use nra_engine::EngineError;
 use nra_storage::{aggregate, AggFunc, CmpOp, Truth, Value};
 
@@ -234,16 +242,40 @@ impl LinkSelection {
         let mut sp = nra_obs::span(|| "link".to_string());
         sp.rows_in(rel.len());
         let r = self.resolve(rel, sub)?;
-        let tuples: Vec<crate::nested::NestedTuple> = rel
-            .tuples
-            .iter()
-            .filter(|t| {
-                let truth = self.eval_tuple(&r, t);
-                sp.outcome(truth);
-                truth == Truth::True
-            })
-            .cloned()
-            .collect();
+        let parts = exec::partitions(rel.len());
+        let tuples: Vec<crate::nested::NestedTuple> = if parts <= 1 {
+            rel.tuples
+                .iter()
+                .filter(|t| {
+                    let truth = self.eval_tuple(&r, t);
+                    sp.outcome(truth);
+                    truth == Truth::True
+                })
+                .cloned()
+                .collect()
+        } else {
+            sp.partitions(parts);
+            let ranges = exec::chunks(rel.len(), parts);
+            let per = exec::run_partitioned(parts, |p| {
+                let mut stats = nra_obs::OpStats::default();
+                let kept: Vec<crate::nested::NestedTuple> = rel.tuples[ranges[p].clone()]
+                    .iter()
+                    .filter(|t| {
+                        let truth = self.eval_tuple(&r, t);
+                        stats.record_outcome(truth);
+                        truth == Truth::True
+                    })
+                    .cloned()
+                    .collect();
+                (kept, stats)
+            });
+            let mut tuples = Vec::new();
+            for (kept, stats) in per {
+                sp.absorb_stats(&stats);
+                tuples.extend(kept);
+            }
+            tuples
+        };
         sp.rows_out(tuples.len());
         Ok(NestedRelation {
             schema: rel.schema.clone(),
@@ -271,24 +303,57 @@ impl LinkSelection {
                     .ok_or_else(|| EngineError::Column((*p).to_string()))
             })
             .collect::<Result<_, _>>()?;
-        let tuples: Vec<crate::nested::NestedTuple> = rel
-            .tuples
-            .iter()
-            .map(|t| {
-                let truth = self.eval_tuple(&r, t);
-                sp.outcome(truth);
-                if truth == Truth::True {
-                    t.clone()
-                } else {
-                    sp.padded(1);
-                    let mut padded = t.clone();
-                    for &i in &pad_idx {
-                        padded.atoms[i] = Value::Null;
-                    }
-                    padded
+        let pad_tuple = |t: &crate::nested::NestedTuple,
+                         truth: Truth,
+                         stats: &mut nra_obs::OpStats|
+         -> crate::nested::NestedTuple {
+            if truth == Truth::True {
+                t.clone()
+            } else {
+                stats.padded += 1;
+                let mut padded = t.clone();
+                for &i in &pad_idx {
+                    padded.atoms[i] = Value::Null;
                 }
-            })
-            .collect();
+                padded
+            }
+        };
+        let parts = exec::partitions(rel.len());
+        let tuples: Vec<crate::nested::NestedTuple> = if parts <= 1 {
+            let mut stats = nra_obs::OpStats::default();
+            let tuples = rel
+                .tuples
+                .iter()
+                .map(|t| {
+                    let truth = self.eval_tuple(&r, t);
+                    stats.record_outcome(truth);
+                    pad_tuple(t, truth, &mut stats)
+                })
+                .collect();
+            sp.absorb_stats(&stats);
+            tuples
+        } else {
+            sp.partitions(parts);
+            let ranges = exec::chunks(rel.len(), parts);
+            let per = exec::run_partitioned(parts, |p| {
+                let mut stats = nra_obs::OpStats::default();
+                let padded: Vec<crate::nested::NestedTuple> = rel.tuples[ranges[p].clone()]
+                    .iter()
+                    .map(|t| {
+                        let truth = self.eval_tuple(&r, t);
+                        stats.record_outcome(truth);
+                        pad_tuple(t, truth, &mut stats)
+                    })
+                    .collect();
+                (padded, stats)
+            });
+            let mut tuples = Vec::new();
+            for (padded, stats) in per {
+                sp.absorb_stats(&stats);
+                tuples.extend(padded);
+            }
+            tuples
+        };
         sp.rows_out(tuples.len());
         Ok(NestedRelation {
             schema: rel.schema.clone(),
@@ -302,15 +367,38 @@ impl LinkSelection {
         let mut sp = nra_obs::span(|| "link".to_string());
         sp.rows_in(rel.len());
         let r = self.resolve(rel, sub)?;
-        let out: Vec<Truth> = rel
-            .tuples
-            .iter()
-            .map(|t| {
-                let truth = self.eval_tuple(&r, t);
-                sp.outcome(truth);
-                truth
-            })
-            .collect();
+        let parts = exec::partitions(rel.len());
+        let out: Vec<Truth> = if parts <= 1 {
+            rel.tuples
+                .iter()
+                .map(|t| {
+                    let truth = self.eval_tuple(&r, t);
+                    sp.outcome(truth);
+                    truth
+                })
+                .collect()
+        } else {
+            sp.partitions(parts);
+            let ranges = exec::chunks(rel.len(), parts);
+            let per = exec::run_partitioned(parts, |p| {
+                let mut stats = nra_obs::OpStats::default();
+                let truths: Vec<Truth> = rel.tuples[ranges[p].clone()]
+                    .iter()
+                    .map(|t| {
+                        let truth = self.eval_tuple(&r, t);
+                        stats.record_outcome(truth);
+                        truth
+                    })
+                    .collect();
+                (truths, stats)
+            });
+            let mut out = Vec::with_capacity(rel.len());
+            for (truths, stats) in per {
+                sp.absorb_stats(&stats);
+                out.extend(truths);
+            }
+            out
+        };
         sp.rows_out(out.len());
         Ok(out)
     }

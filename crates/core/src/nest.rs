@@ -13,9 +13,18 @@
 //! together. This is deliberate — after the unnesting outer joins, padded
 //! rows carry `NULL` primary keys and must land in their outer tuple's
 //! group to mark it as (possibly) empty.
+//!
+//! Both implementations are morsel-parallel under `nra_engine::exec`:
+//! the sort path uses the deterministic parallel stable sort and builds
+//! the group tuples in chunks aligned to group boundaries; the hash path
+//! partitions rows by key hash (all members of a group land in one
+//! partition, in input order) and re-emits the groups in global
+//! first-occurrence order. Either way the emitted nested relation is
+//! identical to the sequential one.
 
 use std::collections::HashMap;
 
+use nra_engine::exec;
 use nra_engine::EngineError;
 use nra_storage::{GroupKey, Relation, Schema};
 
@@ -48,30 +57,90 @@ pub fn nest_hash_idx(rel: &Relation, n1: &[usize], n2: &[usize], sub: &str) -> N
             },
         )],
     };
-    let mut order: Vec<GroupKey> = Vec::new();
-    let mut groups: HashMap<GroupKey, Vec<NestedTuple>> = HashMap::new();
-    for row in rel.rows() {
-        let key = GroupKey::from_tuple(row, n1);
-        let member = NestedTuple::flat(n2.iter().map(|&i| row[i].clone()).collect());
-        match groups.get_mut(&key) {
-            Some(g) => g.push(member),
-            None => {
-                groups.insert(key.clone(), vec![member]);
-                order.push(key);
+    let parts = exec::partitions(rel.len());
+    let tuples: Vec<NestedTuple> = if parts <= 1 {
+        let mut order: Vec<GroupKey> = Vec::new();
+        let mut groups: HashMap<GroupKey, Vec<NestedTuple>> = HashMap::new();
+        for row in rel.rows() {
+            let key = GroupKey::from_tuple(row, n1);
+            let member = NestedTuple::flat(n2.iter().map(|&i| row[i].clone()).collect());
+            match groups.get_mut(&key) {
+                Some(g) => g.push(member),
+                None => {
+                    groups.insert(key.clone(), vec![member]);
+                    order.push(key);
+                }
             }
         }
-    }
-    let tuples: Vec<NestedTuple> = order
-        .into_iter()
-        .map(|key| {
-            let set = groups.remove(&key).unwrap();
-            sp.group(set.len());
-            NestedTuple {
-                atoms: key.0,
-                sets: vec![set],
-            }
+        order
+            .into_iter()
+            .map(|key| {
+                let set = groups.remove(&key).unwrap();
+                sp.group(set.len());
+                NestedTuple {
+                    atoms: key.0,
+                    sets: vec![set],
+                }
+            })
+            .collect()
+    } else {
+        sp.partitions(parts);
+        // Assign each row to the partition owning its key hash (chunked
+        // pass), so all members of one group meet in one partition, in
+        // global row order.
+        let ranges = exec::chunks(rel.len(), parts);
+        let assign: Vec<u32> = exec::run_partitioned(parts, |p| {
+            rel.rows()[ranges[p].clone()]
+                .iter()
+                .map(|row| (exec::key_hash(&GroupKey::from_tuple(row, n1)) % parts as u64) as u32)
+                .collect::<Vec<_>>()
         })
+        .into_iter()
+        .flatten()
         .collect();
+        // Group per partition, remembering each group's first global row
+        // id; sorting by it restores the sequential first-occurrence
+        // emission order exactly.
+        let per_part = exec::run_partitioned(parts, |b| {
+            let mut order: Vec<(usize, GroupKey)> = Vec::new();
+            let mut groups: HashMap<GroupKey, Vec<NestedTuple>> = HashMap::new();
+            for (rid, row) in rel.rows().iter().enumerate() {
+                if assign[rid] != b as u32 {
+                    continue;
+                }
+                let key = GroupKey::from_tuple(row, n1);
+                let member = NestedTuple::flat(n2.iter().map(|&i| row[i].clone()).collect());
+                match groups.get_mut(&key) {
+                    Some(g) => g.push(member),
+                    None => {
+                        groups.insert(key.clone(), vec![member]);
+                        order.push((rid, key));
+                    }
+                }
+            }
+            order
+                .into_iter()
+                .map(|(rid, key)| {
+                    let set = groups.remove(&key).unwrap();
+                    (
+                        rid,
+                        NestedTuple {
+                            atoms: key.0,
+                            sets: vec![set],
+                        },
+                    )
+                })
+                .collect::<Vec<_>>()
+        });
+        let mut all: Vec<(usize, NestedTuple)> = per_part.into_iter().flatten().collect();
+        all.sort_by_key(|&(rid, _)| rid);
+        all.into_iter()
+            .map(|(_, t)| {
+                sp.group(t.sets[0].len());
+                t
+            })
+            .collect()
+    };
     sp.rows_out(tuples.len());
     NestedRelation { schema, tuples }
 }
@@ -94,26 +163,54 @@ pub fn nest_sort_idx(rel: &Relation, n1: &[usize], n2: &[usize], sub: &str) -> N
         )],
     };
     let mut sorted = rel.clone();
-    sorted.sort_by_columns(n1);
+    // Parallel stable sort — byte-identical to `sort_by_columns` (falls
+    // back to it below the morsel floor).
+    exec::sort_rows_by(sorted.rows_mut(), |a, b| {
+        nra_storage::tuple::cmp_on(a, b, n1)
+    });
     let rows = sorted.rows();
-    let mut tuples = Vec::new();
+    // Group boundaries: a cheap sequential scan (adjacent-row equality);
+    // the expensive part — cloning values into nested tuples — is built
+    // per group-chunk in parallel below.
+    let mut bounds: Vec<(usize, usize)> = Vec::new();
     let mut lo = 0;
     while lo < rows.len() {
         let mut hi = lo + 1;
         while hi < rows.len() && nra_storage::tuple::group_eq_on(&rows[lo], &rows[hi], n1) {
             hi += 1;
         }
+        bounds.push((lo, hi));
+        lo = hi;
+    }
+    for &(lo, hi) in &bounds {
+        sp.group(hi - lo);
+    }
+    let build_group = |&(lo, hi): &(usize, usize)| -> NestedTuple {
         let set: Vec<NestedTuple> = rows[lo..hi]
             .iter()
             .map(|r| NestedTuple::flat(n2.iter().map(|&i| r[i].clone()).collect()))
             .collect();
-        sp.group(set.len());
-        tuples.push(NestedTuple {
+        NestedTuple {
             atoms: n1.iter().map(|&i| rows[lo][i].clone()).collect(),
             sets: vec![set],
-        });
-        lo = hi;
-    }
+        }
+    };
+    let parts = exec::partitions(rows.len());
+    let tuples: Vec<NestedTuple> = if parts <= 1 {
+        bounds.iter().map(build_group).collect()
+    } else {
+        sp.partitions(parts);
+        let granges = exec::chunks(bounds.len(), parts);
+        exec::run_partitioned(parts, |p| {
+            bounds[granges[p].clone()]
+                .iter()
+                .map(build_group)
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    };
     sp.rows_out(tuples.len());
     NestedRelation { schema, tuples }
 }
@@ -211,6 +308,45 @@ mod tests {
     fn unknown_columns_error() {
         assert!(nest(&sample(), &["zzz"], &["s.b"], "s").is_err());
         assert!(nest(&sample(), &["r.a"], &["zzz"], "s").is_err());
+    }
+
+    #[test]
+    fn parallel_nest_is_identical() {
+        // Skewed, NULL-bearing keys over a few hundred rows: both nest
+        // implementations must emit exactly the sequential result
+        // (atoms, set members, and tuple order alike) at any budget.
+        let rows: Vec<Vec<Value>> = (0..400)
+            .map(|i| {
+                let key = match i % 13 {
+                    0 => Value::Null,
+                    m => Value::Int(m % 9),
+                };
+                vec![key, Value::Int(i), Value::Int(1000 - i)]
+            })
+            .collect();
+        let rel = Relation::with_rows(sample().schema().clone(), rows);
+        let (n1, n2) = (vec![0usize], vec![1usize, 2usize]);
+        let (seq_hash, seq_sort) = {
+            let _t = exec::set_threads(Some(1));
+            (
+                nest_hash_idx(&rel, &n1, &n2, "s"),
+                nest_sort_idx(&rel, &n1, &n2, "s"),
+            )
+        };
+        for threads in [2, 4] {
+            let _t = exec::set_threads(Some(threads));
+            let _m = exec::set_morsel_rows(1);
+            assert_eq!(
+                nest_hash_idx(&rel, &n1, &n2, "s"),
+                seq_hash,
+                "hash @{threads}"
+            );
+            assert_eq!(
+                nest_sort_idx(&rel, &n1, &n2, "s"),
+                seq_sort,
+                "sort @{threads}"
+            );
+        }
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! an order of magnitude below the two-pass original (§5.2 in-text
 //! numbers).
 
+use nra_engine::exec;
 use nra_engine::EngineError;
 use nra_storage::{aggregate, tuple::group_eq_on, AggFunc, CmpOp, Relation, Schema, Truth, Value};
 
@@ -182,7 +183,14 @@ pub fn fused_nest_select(
     {
         let mut sp = nra_obs::span(|| "nest[sort]".to_string());
         sp.rows_in(rel.len());
-        sorted.sort_by_columns(n1);
+        let parts = exec::partitions(rel.len());
+        if parts > 1 {
+            sp.partitions(parts);
+        }
+        // Parallel stable sort — byte-identical to `sort_by_columns`.
+        exec::sort_rows_by(sorted.rows_mut(), |a, b| {
+            nra_storage::tuple::cmp_on(a, b, n1)
+        });
     }
     fused_nest_select_presorted(&sorted, n1, link, use_pseudo, pad_out)
 }
@@ -201,26 +209,61 @@ pub fn fused_nest_select_presorted(
     sp.rows_in(rel.len());
     let mut out = Relation::new(rel.schema().project(n1));
     let rows = rel.rows();
+    // Group boundaries first (cheap adjacent-row scan); the per-group
+    // evaluation and emission is chunked across workers, group-aligned.
+    let mut bounds: Vec<(usize, usize)> = Vec::new();
     let mut lo = 0;
     while lo < rows.len() {
         let mut hi = lo + 1;
         while hi < rows.len() && group_eq_on(&rows[lo], &rows[hi], n1) {
             hi += 1;
         }
+        bounds.push((lo, hi));
+        lo = hi;
+    }
+    for &(lo, hi) in &bounds {
         sp.group(hi - lo);
+    }
+    let emit_group = |&(lo, hi): &(usize, usize),
+                      stats: &mut nra_obs::OpStats,
+                      out_rows: &mut Vec<Vec<Value>>| {
         let truth = link.eval(rows[lo..hi].iter().map(Vec::as_slice));
-        sp.outcome(truth);
+        stats.record_outcome(truth);
         if truth == Truth::True {
-            out.push_unchecked(n1.iter().map(|&i| rows[lo][i].clone()).collect());
+            out_rows.push(n1.iter().map(|&i| rows[lo][i].clone()).collect());
         } else if use_pseudo {
-            sp.padded(1);
+            stats.padded += 1;
             let mut padded: Vec<Value> = n1.iter().map(|&i| rows[lo][i].clone()).collect();
             for &p in pad_out {
                 padded[p] = Value::Null;
             }
-            out.push_unchecked(padded);
+            out_rows.push(padded);
         }
-        lo = hi;
+    };
+    let parts = exec::partitions(rows.len());
+    if parts <= 1 {
+        let mut stats = nra_obs::OpStats::default();
+        let mut out_rows = Vec::new();
+        for b in &bounds {
+            emit_group(b, &mut stats, &mut out_rows);
+        }
+        sp.absorb_stats(&stats);
+        out.rows_mut().extend(out_rows);
+    } else {
+        sp.partitions(parts);
+        let granges = exec::chunks(bounds.len(), parts);
+        let per = exec::run_partitioned(parts, |p| {
+            let mut stats = nra_obs::OpStats::default();
+            let mut out_rows = Vec::new();
+            for b in &bounds[granges[p].clone()] {
+                emit_group(b, &mut stats, &mut out_rows);
+            }
+            (out_rows, stats)
+        });
+        for (out_rows, stats) in per {
+            sp.absorb_stats(&stats);
+            out.rows_mut().extend(out_rows);
+        }
     }
     sp.rows_out(out.len());
     out

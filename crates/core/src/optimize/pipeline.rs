@@ -140,7 +140,13 @@ pub fn execute_linear_cascade(
     {
         let mut sp = nra_obs::span(|| "nest[sort]".to_string());
         sp.rows_in(rel.len());
-        rel.sort_by_columns(&rid_idx);
+        let parts = nra_engine::exec::partitions(rel.len());
+        if parts > 1 {
+            sp.partitions(parts);
+        }
+        nra_engine::exec::sort_rows_by(rel.rows_mut(), |a, b| {
+            nra_storage::tuple::cmp_on(a, b, &rid_idx)
+        });
     }
 
     // Phase 3 (bottom-up, pipelined): one scan evaluating every level.

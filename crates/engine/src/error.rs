@@ -34,7 +34,15 @@ impl fmt::Display for EngineError {
     }
 }
 
-impl std::error::Error for EngineError {}
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Storage(e) => Some(e),
+            EngineError::Sql(e) => Some(e),
+            EngineError::Column(_) | EngineError::Unsupported(_) => None,
+        }
+    }
+}
 
 impl From<StorageError> for EngineError {
     fn from(e: StorageError) -> EngineError {

@@ -1,0 +1,393 @@
+//! Morsel-style partition scheduler for the nested-relational pipeline.
+//!
+//! The paper's operators are built from hash-partitionable primitives —
+//! outer hash joins on correlation predicates, `nest` grouped by the same
+//! outer keys, and per-tuple linking/pseudo-selections — so each of them
+//! decomposes into independent units of work. This module provides the
+//! shared machinery those operators use to run the units on worker
+//! threads while keeping the output **byte-identical** to the sequential
+//! engine:
+//!
+//! * a thread-local worker budget ([`threads`]), settable per query
+//!   ([`set_threads`], driven by `QueryOptions::threads`) with an
+//!   `NRA_THREADS` environment fallback;
+//! * a morsel-size floor ([`partitions`]) so tiny inputs never pay the
+//!   spawn cost;
+//! * [`run_partitioned`] — scoped fork/join (`std::thread::scope`, no
+//!   external dependencies) that returns worker results *in partition
+//!   order* and merges worker-side [`nra_obs`] collections back into the
+//!   coordinating thread deterministically;
+//! * [`chunks`] — contiguous input splitting, so concatenating worker
+//!   outputs in partition order reproduces the sequential scan order;
+//! * [`sort_rows_by`] — a stable parallel merge sort whose output equals
+//!   `slice::sort_by` exactly (stable-sort output is unique).
+//!
+//! Determinism argument: every parallel operator in this engine follows
+//! one of two shapes. Either it chunks a scan whose per-tuple results are
+//! independent and concatenates the chunk outputs in partition order
+//! (linking selections, join probes), or it hash-partitions on a grouping
+//! key so that all tuples of one group land in one partition and the
+//! groups are re-emitted in a globally defined order (hash-join builds,
+//! hash nest). Both shapes reproduce the sequential output order, not
+//! just the same multiset.
+
+use std::cell::Cell;
+use std::cmp::Ordering;
+use std::ops::Range;
+
+/// Default minimum rows per worker before an operator partitions.
+/// Spawning a scoped thread costs ~10µs; below this floor the sequential
+/// path is faster and (more importantly for tests) the committed
+/// baselines at small scales keep their sequential shape.
+pub const DEFAULT_MORSEL_ROWS: usize = 1024;
+
+/// Hard cap on the worker budget (a runaway `NRA_THREADS` should not
+/// spawn thousands of threads).
+pub const MAX_THREADS: usize = 64;
+
+thread_local! {
+    /// Per-thread override of the worker budget (`None` = consult the
+    /// `NRA_THREADS` environment variable).
+    static THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Per-thread morsel floor (tests shrink it to exercise the parallel
+    /// paths on small corpora).
+    static MORSEL_ROWS: Cell<usize> = const { Cell::new(DEFAULT_MORSEL_ROWS) };
+}
+
+fn env_threads() -> Option<usize> {
+    std::env::var("NRA_THREADS")
+        .ok()?
+        .trim()
+        .parse::<usize>()
+        .ok()
+}
+
+/// The worker budget for operators on this thread: the per-query override
+/// when set, else `NRA_THREADS`, else 1 (sequential). Always in
+/// `1..=MAX_THREADS`.
+pub fn threads() -> usize {
+    THREADS
+        .with(Cell::get)
+        .or_else(env_threads)
+        .unwrap_or(1)
+        .clamp(1, MAX_THREADS)
+}
+
+/// Restores the previous worker budget on drop (see [`set_threads`]).
+#[must_use = "dropping the guard immediately restores the previous budget"]
+pub struct ThreadsGuard {
+    prev: Option<usize>,
+}
+
+impl Drop for ThreadsGuard {
+    fn drop(&mut self) {
+        THREADS.with(|t| t.set(self.prev));
+    }
+}
+
+/// Set (or with `None`, clear) this thread's worker-budget override for
+/// the lifetime of the returned guard. Queries install this from
+/// `QueryOptions::threads`; clearing falls back to `NRA_THREADS`.
+pub fn set_threads(n: Option<usize>) -> ThreadsGuard {
+    ThreadsGuard {
+        prev: THREADS.with(|t| t.replace(n.map(|n| n.clamp(1, MAX_THREADS)))),
+    }
+}
+
+/// The current morsel floor (minimum rows per worker).
+pub fn morsel_rows() -> usize {
+    MORSEL_ROWS.with(Cell::get)
+}
+
+/// Restores the previous morsel floor on drop (see [`set_morsel_rows`]).
+#[must_use = "dropping the guard immediately restores the previous floor"]
+pub struct MorselGuard {
+    prev: usize,
+}
+
+impl Drop for MorselGuard {
+    fn drop(&mut self) {
+        MORSEL_ROWS.with(|m| m.set(self.prev));
+    }
+}
+
+/// Override the morsel floor for the lifetime of the returned guard.
+/// Agreement tests set this to 1 so that even 10-row corpora exercise
+/// every parallel code path.
+pub fn set_morsel_rows(n: usize) -> MorselGuard {
+    MorselGuard {
+        prev: MORSEL_ROWS.with(|m| m.replace(n.max(1))),
+    }
+}
+
+/// How many partitions a scan of `rows` rows should use: bounded by the
+/// worker budget and by the morsel floor, never zero. With the default
+/// budget of 1 this is always 1, which keeps every operator on its
+/// original sequential path.
+pub fn partitions(rows: usize) -> usize {
+    threads().min(rows / morsel_rows().max(1)).max(1)
+}
+
+/// Split `0..len` into `parts` contiguous ranges of near-equal size (the
+/// first `len % parts` ranges carry one extra element). Concatenating
+/// per-range outputs in order reproduces a sequential scan of `0..len`.
+pub fn chunks(len: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.max(1);
+    let (base, extra) = (len / parts, len % parts);
+    let mut out = Vec::with_capacity(parts);
+    let mut lo = 0;
+    for p in 0..parts {
+        let hi = lo + base + usize::from(p < extra);
+        out.push(lo..hi);
+        lo = hi;
+    }
+    out
+}
+
+/// Run `f(p)` for every partition `p in 0..parts` and return the results
+/// in partition order.
+///
+/// Partition 0 runs inline on the calling thread (its observability spans
+/// reach the parent collector directly); partitions `1..` run on scoped
+/// worker threads under an [`nra_obs::Handoff`], and their collected
+/// profiles are absorbed into the parent collector *in partition order*
+/// after the join — so merged counters are deterministic regardless of
+/// how the OS schedules the workers. With `parts == 1` this degenerates
+/// to a plain call with zero thread overhead.
+pub fn run_partitioned<T, F>(parts: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if parts <= 1 {
+        return vec![f(0)];
+    }
+    let handoff = nra_obs::Handoff::capture();
+    let mut results: Vec<T> = Vec::with_capacity(parts);
+    let mut profiles: Vec<Option<nra_obs::Profile>> = Vec::with_capacity(parts - 1);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (1..parts)
+            .map(|p| {
+                let handoff = &handoff;
+                let f = &f;
+                s.spawn(move || handoff.run(|| f(p)))
+            })
+            .collect();
+        results.push(f(0));
+        for handle in handles {
+            let (out, profile) = handle.join().expect("exec worker panicked");
+            results.push(out);
+            profiles.push(profile);
+        }
+    });
+    for profile in profiles.into_iter().flatten() {
+        nra_obs::absorb(&profile);
+    }
+    results
+}
+
+/// Stable parallel sort of `rows`, byte-identical to
+/// `rows.sort_by(&cmp)`: contiguous chunks are stably sorted on workers,
+/// then adjacent sorted runs are merged pairwise with ties always taken
+/// from the left (lower-index) run. The composition is a stable sort, and
+/// a stable sort's output permutation is unique, so the result equals the
+/// sequential one. Falls back to `sort_by` when [`partitions`] says the
+/// input is too small.
+///
+/// Sorting happens on an index vector (workers share `&rows` read-only),
+/// and the final permutation moves each row exactly once.
+pub fn sort_rows_by<T, F>(rows: &mut Vec<T>, cmp: F)
+where
+    T: Sync + Send + Default,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    let parts = partitions(rows.len());
+    if parts <= 1 {
+        rows.sort_by(&cmp);
+        return;
+    }
+    let n = rows.len();
+    let mut runs = chunks(n, parts);
+    let mut src: Vec<u32> = Vec::with_capacity(n);
+    let mut dst: Vec<u32> = vec![0; n];
+    {
+        let view = &rows[..];
+        let cmp = &cmp;
+        // Phase 1: stable-sort each chunk's indices in parallel. Equal
+        // rows keep ascending index order within a chunk.
+        let sorted = run_partitioned(parts, |p| {
+            let r = runs[p].clone();
+            let mut idx: Vec<u32> = (r.start as u32..r.end as u32).collect();
+            idx.sort_by(|&a, &b| cmp(&view[a as usize], &view[b as usize]));
+            idx
+        });
+        for chunk in sorted {
+            src.extend_from_slice(&chunk);
+        }
+        // Phase 2: merge adjacent runs pairwise until one run remains.
+        // Each pair writes a disjoint slice of `dst`; ties take the left
+        // run, whose indices are the smaller ones — overall stability.
+        while runs.len() > 1 {
+            let mut next_runs = Vec::with_capacity(runs.len().div_ceil(2));
+            std::thread::scope(|s| {
+                let mut dst_rest: &mut [u32] = &mut dst;
+                let mut i = 0;
+                while i < runs.len() {
+                    if i + 1 == runs.len() {
+                        // Odd run out: carried over verbatim.
+                        let r = runs[i].clone();
+                        let (out, rest) = dst_rest.split_at_mut(r.len());
+                        dst_rest = rest;
+                        out.copy_from_slice(&src[r.clone()]);
+                        next_runs.push(r);
+                        i += 1;
+                        continue;
+                    }
+                    let (a, b) = (runs[i].clone(), runs[i + 1].clone());
+                    let merged = a.start..b.end;
+                    let (out, rest) = dst_rest.split_at_mut(merged.len());
+                    dst_rest = rest;
+                    let src = &src;
+                    s.spawn(move || {
+                        merge_runs(&src[a], &src[b], out, |&x, &y| {
+                            cmp(&view[x as usize], &view[y as usize])
+                        })
+                    });
+                    next_runs.push(merged);
+                    i += 2;
+                }
+            });
+            std::mem::swap(&mut src, &mut dst);
+            runs = next_runs;
+        }
+    }
+    // Phase 3: apply the permutation. Every index occurs exactly once, so
+    // each row is taken out of the old vector exactly once.
+    let mut old = std::mem::take(rows);
+    rows.extend(src.iter().map(|&i| std::mem::take(&mut old[i as usize])));
+}
+
+/// Stable two-run merge: on ties the left run wins.
+fn merge_runs<T: Copy>(a: &[T], b: &[T], out: &mut [T], mut cmp: impl FnMut(&T, &T) -> Ordering) {
+    let (mut i, mut j) = (0, 0);
+    for slot in out.iter_mut() {
+        let take_left = i < a.len() && (j >= b.len() || cmp(&a[i], &b[j]) != Ordering::Greater);
+        if take_left {
+            *slot = a[i];
+            i += 1;
+        } else {
+            *slot = b[j];
+            j += 1;
+        }
+    }
+}
+
+/// Hash a grouping key with the standard library's deterministic
+/// `DefaultHasher` (fixed-key SipHash — the same key always lands in the
+/// same partition, across runs and across build/probe sides).
+pub fn key_hash<K: std::hash::Hash>(key: &K) -> u64 {
+    use std::hash::Hasher;
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Run `f` with a given budget and a morsel floor of 1.
+    fn with_budget<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+        let _t = set_threads(Some(threads));
+        let _m = set_morsel_rows(1);
+        f()
+    }
+
+    #[test]
+    fn default_budget_is_sequential() {
+        // No override and (in the test environment) no NRA_THREADS: every
+        // operator sees exactly one partition.
+        if std::env::var("NRA_THREADS").is_err() {
+            assert_eq!(threads(), 1);
+            assert_eq!(partitions(1 << 20), 1);
+        }
+    }
+
+    #[test]
+    fn morsel_floor_keeps_small_inputs_sequential() {
+        let _t = set_threads(Some(8));
+        assert_eq!(partitions(DEFAULT_MORSEL_ROWS - 1), 1);
+        assert_eq!(partitions(2 * DEFAULT_MORSEL_ROWS), 2);
+        assert_eq!(partitions(100 * DEFAULT_MORSEL_ROWS), 8);
+    }
+
+    #[test]
+    fn chunks_cover_contiguously() {
+        for (len, parts) in [(10, 3), (3, 10), (0, 4), (7, 1), (8, 4)] {
+            let cs = chunks(len, parts);
+            assert_eq!(cs.len(), parts.max(1));
+            let mut expect = 0;
+            for c in &cs {
+                assert_eq!(c.start, expect);
+                expect = c.end;
+            }
+            assert_eq!(expect, len);
+        }
+    }
+
+    #[test]
+    fn run_partitioned_returns_in_partition_order() {
+        let out = with_budget(4, || {
+            run_partitioned(4, |p| {
+                // Make later partitions finish first.
+                std::thread::sleep(std::time::Duration::from_millis(4 - p as u64));
+                p * 10
+            })
+        });
+        assert_eq!(out, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn run_partitioned_merges_worker_stats_deterministically() {
+        nra_obs::enable();
+        with_budget(4, || {
+            run_partitioned(4, |p| {
+                let mut sp = nra_obs::span(|| "work".to_string());
+                sp.rows_out(p + 1);
+            })
+        });
+        let profile = nra_obs::disable().unwrap();
+        let s = profile.get("work").unwrap();
+        assert_eq!(s.invocations, 4);
+        assert_eq!(s.rows_out, 1 + 2 + 3 + 4);
+    }
+
+    #[test]
+    fn parallel_sort_equals_sequential_stable_sort() {
+        // Pairs sorted by the first component only: the second component
+        // witnesses stability.
+        let mut rng = 0x2545_F491u64;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for len in [0usize, 1, 2, 7, 100, 1000, 4097] {
+            let data: Vec<(u64, usize)> = (0..len).map(|i| (next() % 17, i)).collect();
+            let mut expect = data.clone();
+            expect.sort_by_key(|a| a.0);
+            for t in [2, 3, 4] {
+                let mut got = data.clone();
+                with_budget(t, || sort_rows_by(&mut got, |a, b| a.0.cmp(&b.0)));
+                assert_eq!(got, expect, "len={len} threads={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn key_hash_is_stable_across_calls() {
+        assert_eq!(key_hash(&42u64), key_hash(&42u64));
+        assert_ne!(key_hash(&1u64), key_hash(&2u64));
+    }
+}

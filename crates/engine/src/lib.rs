@@ -4,6 +4,9 @@
 //!
 //! * [`expr`] — compilation of bound expressions to index-resolved form,
 //!   evaluated under SQL three-valued logic;
+//! * [`exec`] — the morsel-style partition scheduler: worker budget,
+//!   contiguous chunking, deterministic fork/join and a stable parallel
+//!   sort (see `DESIGN.md` §10);
 //! * [`ops`] — physical operators (scan, filter, project, sort, Cartesian
 //!   product, and hash inner/left-outer/semi/anti joins with residuals);
 //! * [`planning`] — helpers splitting join conditions into hash keys and
@@ -16,6 +19,7 @@
 
 pub mod baseline;
 pub mod error;
+pub mod exec;
 pub mod expr;
 pub mod ops;
 pub mod planning;

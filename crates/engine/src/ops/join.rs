@@ -12,12 +12,20 @@
 //!
 //! When no equality pairs are available (purely non-equality correlation),
 //! the same semantics run through a block nested-loop fallback.
+//!
+//! Both paths are morsel-parallel under [`crate::exec`]: the build side is
+//! hash-partitioned into per-worker tables (all rows of one key land in
+//! one table, rids in ascending order — the same match lists the single
+//! table would hold), and the probe side is chunked contiguously with
+//! chunk outputs concatenated in partition order — so the output is
+//! byte-identical to the sequential join at any worker count.
 
 use std::collections::HashMap;
 
 use nra_storage::{GroupKey, Relation, Value};
 
 use crate::error::EngineError;
+use crate::exec;
 use crate::expr::CPred;
 
 /// Join flavor.
@@ -78,36 +86,38 @@ pub fn join(left: &Relation, right: &Relation, spec: &JoinSpec) -> Result<Relati
     let mut out = Relation::new(out_schema);
     let right_width = right.schema().len();
 
-    // Scratch buffer for residual evaluation over left ++ right.
-    let mut combined: Vec<Value> = Vec::with_capacity(left.schema().len() + right_width);
-
-    let matches_residual = |combined: &[Value], spec: &JoinSpec| -> bool {
-        match &spec.residual {
-            Some(p) => p.accepts(combined),
-            None => true,
-        }
-    };
-
     if spec.eq.is_empty() {
-        // Block nested loop.
-        for l in left.rows() {
-            let mut matched = false;
-            for r in right.rows() {
-                combined.clear();
-                combined.extend(l.iter().cloned());
-                combined.extend(r.iter().cloned());
-                if matches_residual(&combined, spec) {
-                    matched = true;
-                    match spec.kind {
-                        JoinKind::Inner | JoinKind::LeftOuter => {
-                            out.push_unchecked(combined.clone())
+        // Block nested loop: every left row scans all of `right`, so the
+        // left side chunks freely (one partition = the sequential loop).
+        let parts = exec::partitions(left.len());
+        if parts > 1 {
+            sp.partitions(parts);
+        }
+        let ranges = exec::chunks(left.len(), parts);
+        let results = exec::run_partitioned(parts, |p| {
+            let mut rows: Vec<Vec<Value>> = Vec::new();
+            let mut combined: Vec<Value> = Vec::with_capacity(left.schema().len() + right_width);
+            for l in &left.rows()[ranges[p].clone()] {
+                let mut matched = false;
+                for r in right.rows() {
+                    combined.clear();
+                    combined.extend(l.iter().cloned());
+                    combined.extend(r.iter().cloned());
+                    if matches_residual(&combined, spec) {
+                        matched = true;
+                        match spec.kind {
+                            JoinKind::Inner | JoinKind::LeftOuter => rows.push(combined.clone()),
+                            JoinKind::Semi => break,
+                            JoinKind::Anti => break,
                         }
-                        JoinKind::Semi => break,
-                        JoinKind::Anti => break,
                     }
                 }
+                emit_unmatched(&mut rows, l, right_width, spec.kind, matched);
             }
-            emit_unmatched(&mut out, l, right_width, spec.kind, matched);
+            rows
+        });
+        for rows in results {
+            out.rows_mut().extend(rows);
         }
         sp.rows_out(out.len());
         return Ok(out);
@@ -116,16 +126,16 @@ pub fn join(left: &Relation, right: &Relation, spec: &JoinSpec) -> Result<Relati
     let left_keys: Vec<usize> = spec.eq.iter().map(|&(l, _)| l).collect();
     let right_keys: Vec<usize> = spec.eq.iter().map(|&(_, r)| r).collect();
 
-    // Build on the right side, excluding NULL keys.
-    let mut table: HashMap<GroupKey, Vec<usize>> = HashMap::new();
-    let mut built = 0usize;
-    for (rid, r) in right.rows().iter().enumerate() {
-        let key = GroupKey::from_tuple(r, &right_keys);
-        if !key.has_null() {
-            table.entry(key).or_default().push(rid);
-            built += 1;
-        }
-    }
+    // Build on the right side, excluding NULL keys. With more than one
+    // build partition the rows are hash-partitioned by key, so every
+    // match list ends up in exactly one table with its rids ascending —
+    // the same list the single sequential table would hold.
+    let bparts = exec::partitions(right.len());
+    let tables = build_tables(right, &right_keys, bparts);
+    let built: usize = tables
+        .iter()
+        .map(|t| t.values().map(Vec::len).sum::<usize>())
+        .sum();
     if sp.active() {
         // Approximate footprint: each entry carries its key values
         // (~16 bytes per column) plus a row id.
@@ -133,35 +143,119 @@ pub fn join(left: &Relation, right: &Relation, spec: &JoinSpec) -> Result<Relati
         sp.hash_build(built, built * entry_bytes);
     }
 
-    for l in left.rows() {
-        let key = GroupKey::from_tuple(l, &left_keys);
-        let mut matched = false;
-        if !key.has_null() {
-            if let Some(rids) = table.get(&key) {
-                for &rid in rids {
-                    combined.clear();
-                    combined.extend(l.iter().cloned());
-                    combined.extend(right.rows()[rid].iter().cloned());
-                    if matches_residual(&combined, spec) {
-                        matched = true;
-                        match spec.kind {
-                            JoinKind::Inner | JoinKind::LeftOuter => {
-                                out.push_unchecked(combined.clone())
+    // Probe side: contiguous chunks, outputs concatenated in chunk order.
+    let pparts = exec::partitions(left.len());
+    if bparts > 1 || pparts > 1 {
+        sp.partitions(bparts.max(pparts));
+    }
+    let ranges = exec::chunks(left.len(), pparts);
+    let results = exec::run_partitioned(pparts, |p| {
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        let mut combined: Vec<Value> = Vec::with_capacity(left.schema().len() + right_width);
+        for l in &left.rows()[ranges[p].clone()] {
+            let key = GroupKey::from_tuple(l, &left_keys);
+            let mut matched = false;
+            if !key.has_null() {
+                if let Some(rids) = probe(&tables, &key) {
+                    for &rid in rids {
+                        combined.clear();
+                        combined.extend(l.iter().cloned());
+                        combined.extend(right.rows()[rid].iter().cloned());
+                        if matches_residual(&combined, spec) {
+                            matched = true;
+                            match spec.kind {
+                                JoinKind::Inner | JoinKind::LeftOuter => {
+                                    rows.push(combined.clone())
+                                }
+                                JoinKind::Semi | JoinKind::Anti => break,
                             }
-                            JoinKind::Semi | JoinKind::Anti => break,
                         }
                     }
                 }
             }
+            emit_unmatched(&mut rows, l, right_width, spec.kind, matched);
         }
-        emit_unmatched(&mut out, l, right_width, spec.kind, matched);
+        rows
+    });
+    for rows in results {
+        out.rows_mut().extend(rows);
     }
     sp.rows_out(out.len());
     Ok(out)
 }
 
+fn matches_residual(combined: &[Value], spec: &JoinSpec) -> bool {
+    match &spec.residual {
+        Some(p) => p.accepts(combined),
+        None => true,
+    }
+}
+
+/// Build the hash table(s) over the right side. One partition builds the
+/// classic single table; several partition rows by key hash, each worker
+/// inserting only its own keys (rid order within a key stays ascending).
+fn build_tables(
+    right: &Relation,
+    right_keys: &[usize],
+    bparts: usize,
+) -> Vec<HashMap<GroupKey, Vec<usize>>> {
+    if bparts <= 1 {
+        let mut table: HashMap<GroupKey, Vec<usize>> = HashMap::new();
+        for (rid, r) in right.rows().iter().enumerate() {
+            let key = GroupKey::from_tuple(r, right_keys);
+            if !key.has_null() {
+                table.entry(key).or_default().push(rid);
+            }
+        }
+        return vec![table];
+    }
+    // Pre-assign rows to build partitions in one chunked parallel pass
+    // (u32::MAX marks NULL keys, which no table admits), then let each
+    // worker insert exactly its partition's rows.
+    let ranges = exec::chunks(right.len(), bparts);
+    let assigned = exec::run_partitioned(bparts, |p| {
+        right.rows()[ranges[p].clone()]
+            .iter()
+            .map(|r| {
+                let key = GroupKey::from_tuple(r, right_keys);
+                if key.has_null() {
+                    u32::MAX
+                } else {
+                    (exec::key_hash(&key) % bparts as u64) as u32
+                }
+            })
+            .collect::<Vec<u32>>()
+    });
+    let assign: Vec<u32> = assigned.into_iter().flatten().collect();
+    exec::run_partitioned(bparts, |b| {
+        let mut table: HashMap<GroupKey, Vec<usize>> = HashMap::new();
+        for (rid, r) in right.rows().iter().enumerate() {
+            if assign[rid] == b as u32 {
+                table
+                    .entry(GroupKey::from_tuple(r, right_keys))
+                    .or_default()
+                    .push(rid);
+            }
+        }
+        table
+    })
+}
+
+/// Look `key` up in the table that owns its hash partition.
+fn probe<'t>(
+    tables: &'t [HashMap<GroupKey, Vec<usize>>],
+    key: &GroupKey,
+) -> Option<&'t Vec<usize>> {
+    let table = if tables.len() == 1 {
+        &tables[0]
+    } else {
+        &tables[(exec::key_hash(key) % tables.len() as u64) as usize]
+    };
+    table.get(key)
+}
+
 fn emit_unmatched(
-    out: &mut Relation,
+    out: &mut Vec<Vec<Value>>,
     left_row: &[Value],
     right_width: usize,
     kind: JoinKind,
@@ -171,10 +265,10 @@ fn emit_unmatched(
         JoinKind::LeftOuter if !matched => {
             let mut row = left_row.to_vec();
             row.extend(std::iter::repeat_n(Value::Null, right_width));
-            out.push_unchecked(row);
+            out.push(row);
         }
-        JoinKind::Semi if matched => out.push_unchecked(left_row.to_vec()),
-        JoinKind::Anti if !matched => out.push_unchecked(left_row.to_vec()),
+        JoinKind::Semi if matched => out.push(left_row.to_vec()),
+        JoinKind::Anti if !matched => out.push(left_row.to_vec()),
         _ => {}
     }
 }
@@ -331,6 +425,55 @@ mod tests {
         .unwrap();
         // l.k=1 has a match (w=12) -> excluded; l.k=2 and NULL kept.
         assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn parallel_join_is_byte_identical() {
+        // Skewed keys (incl. NULLs) over a few hundred rows; every kind,
+        // at 2 and 4 workers with a morsel floor of 1, must reproduce the
+        // sequential output *in order*.
+        let lrows: Vec<Vec<Value>> = (0..300)
+            .map(|i| {
+                let k = match i % 7 {
+                    0 => Value::Null,
+                    m => Value::Int(m % 5),
+                };
+                vec![k, Value::Int(i)]
+            })
+            .collect();
+        let rrows: Vec<Vec<Value>> = (0..200)
+            .map(|i| {
+                let k = match i % 11 {
+                    0 => Value::Null,
+                    m => Value::Int(m % 6),
+                };
+                vec![k, Value::Int(1000 + i)]
+            })
+            .collect();
+        let l = Relation::with_rows(left().schema().clone(), lrows);
+        let r = Relation::with_rows(right().schema().clone(), rrows);
+        for kind in [
+            JoinKind::Inner,
+            JoinKind::LeftOuter,
+            JoinKind::Semi,
+            JoinKind::Anti,
+        ] {
+            let spec = JoinSpec::new(kind, vec![(0, 0)], None);
+            let sequential = {
+                let _t = exec::set_threads(Some(1));
+                join(&l, &r, &spec).unwrap()
+            };
+            for threads in [2, 4] {
+                let _t = exec::set_threads(Some(threads));
+                let _m = exec::set_morsel_rows(1);
+                let parallel = join(&l, &r, &spec).unwrap();
+                assert_eq!(
+                    parallel.rows(),
+                    sequential.rows(),
+                    "{kind:?} at {threads} threads"
+                );
+            }
+        }
     }
 
     #[test]

@@ -7,12 +7,19 @@
 //! `INTERSECT` / `EXCEPT` without `ALL`): duplicates are eliminated, and
 //! rows compare under grouping equality (`NULL` matches `NULL`, as SQL set
 //! operations do — unlike `WHERE`-clause equality).
+//!
+//! The set variants are morsel-parallel in their probe work: key
+//! extraction and right-side membership tests run in contiguous chunks
+//! under [`crate::exec`], while the order-dependent dedup/emit pass stays
+//! sequential — so output order and content match the sequential code
+//! exactly.
 
 use std::collections::{HashMap, HashSet};
 
 use nra_storage::{GroupKey, Relation};
 
 use crate::error::EngineError;
+use crate::exec;
 
 fn check_arity(left: &Relation, right: &Relation) -> Result<(), EngineError> {
     if left.schema().len() != right.schema().len() {
@@ -29,16 +36,67 @@ fn all_cols(rel: &Relation) -> Vec<usize> {
     (0..rel.schema().len()).collect()
 }
 
+/// Extract every row's grouping key, in row order, chunked across
+/// workers (key extraction clones values — the expensive part of the
+/// probe side).
+fn extract_keys(rel: &Relation, cols: &[usize], sp: &mut nra_obs::Span) -> Vec<GroupKey> {
+    let parts = exec::partitions(rel.len());
+    if parts > 1 {
+        sp.partitions(parts);
+    }
+    let ranges = exec::chunks(rel.len(), parts);
+    exec::run_partitioned(parts, |p| {
+        rel.rows()[ranges[p].clone()]
+            .iter()
+            .map(|row| GroupKey::from_tuple(row, cols))
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Each left row's key plus whether it occurs in `right_keys`, in row
+/// order, chunked across workers. The consuming dedup/emit loop is
+/// inherently sequential, but the hashing happens here.
+fn memberships(
+    left: &Relation,
+    right_keys: &HashSet<GroupKey>,
+    cols: &[usize],
+    sp: &mut nra_obs::Span,
+) -> Vec<(GroupKey, bool)> {
+    let parts = exec::partitions(left.len());
+    if parts > 1 {
+        sp.partitions(parts);
+    }
+    let ranges = exec::chunks(left.len(), parts);
+    exec::run_partitioned(parts, |p| {
+        left.rows()[ranges[p].clone()]
+            .iter()
+            .map(|row| {
+                let key = GroupKey::from_tuple(row, cols);
+                let hit = right_keys.contains(&key);
+                (key, hit)
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
 /// `left ∪ right` (set semantics, left schema kept).
 pub fn union(left: &Relation, right: &Relation) -> Result<Relation, EngineError> {
     let mut sp = nra_obs::span(|| "setop[union]".to_string());
     sp.rows_in(left.len() + right.len());
     check_arity(left, right)?;
     let cols = all_cols(left);
+    let mut keys = extract_keys(left, &cols, &mut sp);
+    keys.extend(extract_keys(right, &cols, &mut sp));
     let mut seen: HashSet<GroupKey> = HashSet::new();
     let mut out = Relation::new(left.schema().clone());
-    for row in left.rows().iter().chain(right.rows()) {
-        if seen.insert(GroupKey::from_tuple(row, &cols)) {
+    for (row, key) in left.rows().iter().chain(right.rows()).zip(keys) {
+        if seen.insert(key) {
             out.push_unchecked(row.clone());
         }
     }
@@ -52,16 +110,12 @@ pub fn intersect(left: &Relation, right: &Relation) -> Result<Relation, EngineEr
     sp.rows_in(left.len() + right.len());
     check_arity(left, right)?;
     let cols = all_cols(left);
-    let right_keys: HashSet<GroupKey> = right
-        .rows()
-        .iter()
-        .map(|r| GroupKey::from_tuple(r, &cols))
-        .collect();
+    let right_keys: HashSet<GroupKey> = extract_keys(right, &cols, &mut sp).into_iter().collect();
+    let keyed = memberships(left, &right_keys, &cols, &mut sp);
     let mut emitted: HashSet<GroupKey> = HashSet::new();
     let mut out = Relation::new(left.schema().clone());
-    for row in left.rows() {
-        let key = GroupKey::from_tuple(row, &cols);
-        if right_keys.contains(&key) && emitted.insert(key) {
+    for (row, (key, hit)) in left.rows().iter().zip(keyed) {
+        if hit && emitted.insert(key) {
             out.push_unchecked(row.clone());
         }
     }
@@ -75,16 +129,12 @@ pub fn difference(left: &Relation, right: &Relation) -> Result<Relation, EngineE
     sp.rows_in(left.len() + right.len());
     check_arity(left, right)?;
     let cols = all_cols(left);
-    let right_keys: HashSet<GroupKey> = right
-        .rows()
-        .iter()
-        .map(|r| GroupKey::from_tuple(r, &cols))
-        .collect();
+    let right_keys: HashSet<GroupKey> = extract_keys(right, &cols, &mut sp).into_iter().collect();
+    let keyed = memberships(left, &right_keys, &cols, &mut sp);
     let mut emitted: HashSet<GroupKey> = HashSet::new();
     let mut out = Relation::new(left.schema().clone());
-    for row in left.rows() {
-        let key = GroupKey::from_tuple(row, &cols);
-        if !right_keys.contains(&key) && emitted.insert(key) {
+    for (row, (key, hit)) in left.rows().iter().zip(keyed) {
+        if !hit && emitted.insert(key) {
             out.push_unchecked(row.clone());
         }
     }

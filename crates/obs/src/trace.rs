@@ -87,6 +87,14 @@ pub enum TraceEvent {
         wall_ns: u64,
         rows: Option<u64>,
     },
+    /// The planner granted the executor a data-parallelism budget:
+    /// `threads` workers over at most `partitions` hash/morsel partitions,
+    /// with the reason for the choice (or for staying sequential).
+    Parallelism {
+        threads: usize,
+        partitions: usize,
+        reason: String,
+    },
     /// One operator span finished (same qualified names as
     /// [`crate::Profile`], so traces and profiles correlate by name).
     Op {
@@ -110,6 +118,7 @@ impl TraceEvent {
             TraceEvent::RewriteStep { .. } => "rewrite_step",
             TraceEvent::PhaseStart { .. } => "phase_start",
             TraceEvent::PhaseDone { .. } => "phase_done",
+            TraceEvent::Parallelism { .. } => "parallelism",
             TraceEvent::Op { .. } => "op",
             TraceEvent::QueryEnd { .. } => "query_end",
         }
@@ -189,6 +198,16 @@ impl TraceEvent {
                     None => out.push_str("null"),
                 }
             }
+            TraceEvent::Parallelism {
+                threads,
+                partitions,
+                reason,
+            } => {
+                out.push_str(&format!(
+                    ", \"threads\": {threads}, \"partitions\": {partitions}, \"reason\": "
+                ));
+                json::write_string(&mut out, reason);
+            }
             TraceEvent::Op {
                 name,
                 wall_ns,
@@ -267,6 +286,14 @@ impl fmt::Display for TraceEvent {
                 }
                 Ok(())
             }
+            TraceEvent::Parallelism {
+                threads,
+                partitions,
+                reason,
+            } => write!(
+                f,
+                "· parallel: {threads} thread(s) × {partitions} partition(s) — {reason}"
+            ),
             TraceEvent::Op {
                 name,
                 wall_ns,

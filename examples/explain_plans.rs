@@ -8,21 +8,30 @@
 
 use nra::core::TreeExpr;
 use nra::storage::{Column, ColumnType, Value};
-use nra::Database;
+use nra::{Database, QueryOptions, Strategy};
 
 fn show(db: &Database, sql: &str) {
     println!("== {sql}\n");
-    println!("{}", db.explain(sql).unwrap());
+    let explain = db
+        .execute(sql, &QueryOptions::new().explain_only(true))
+        .unwrap();
+    println!("{}", explain.plan.unwrap());
     let bq = db.prepare(sql).unwrap();
     let tree = TreeExpr::build(&bq);
     println!("\ntree expression (paper Fig. 3a):\n{tree}");
     println!("operator pipeline (paper Fig. 3b):\n{}", tree.render_plan());
-    println!(
-        "explain analyze (measured):\n{}",
-        db.explain_analyze(sql).unwrap()
-    );
-    let out = db.query(sql).unwrap();
-    println!("result:\n{out}\n");
+    let analyzed = db
+        .execute(
+            sql,
+            &QueryOptions::new()
+                .strategy(Strategy::Original)
+                .collect_profile(true)
+                .simulate_io(true),
+        )
+        .unwrap();
+    println!("explain analyze (measured):\n{}", analyzed.plan.unwrap());
+    let out = db.execute(sql, &QueryOptions::new()).unwrap();
+    println!("result:\n{}\n", out.rows);
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -12,7 +12,7 @@ use nra::engine::planning::split_join_conds;
 use nra::engine::{join, JoinSpec};
 use nra::sql::parse_and_bind;
 use nra::storage::CmpOp;
-use nra::{Database, Engine, Strategy};
+use nra::{Database, Engine, QueryOptions, Strategy};
 use nra_engine::JoinKind;
 use nra_tpch::paper_example::{rst_catalog, QUERY_Q};
 
@@ -91,7 +91,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- The same thing through the engines ----------------------------
     let db = Database::from_catalog(rst_catalog());
-    println!("explain: {}\n", db.explain(QUERY_Q)?);
+    let explain = db.execute(QUERY_Q, &QueryOptions::new().explain_only(true))?;
+    println!("explain: {}\n", explain.plan.unwrap());
     for (name, engine) in [
         ("oracle (tuple iteration)", Engine::Reference),
         ("baseline (System A plans)", Engine::Baseline),
@@ -104,8 +105,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Engine::NestedRelational(Strategy::Optimized),
         ),
     ] {
-        let out = db.query_with(QUERY_Q, engine)?;
-        println!("-- {name}\n{out}\n");
+        let out = db.execute(QUERY_Q, &QueryOptions::new().engine(engine))?;
+        println!("-- {name}\n{}\n", out.rows);
     }
     Ok(())
 }

@@ -6,7 +6,7 @@
 //! ```
 
 use nra::storage::{Column, ColumnType, Value};
-use nra::{Database, Engine, Strategy};
+use nra::{Database, Engine, QueryOptions, Strategy};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut db = Database::new();
@@ -57,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sql_all = "select name from customers \
                    where credit_limit > all \
                      (select amount from invoices where invoices.cid = customers.cid)";
-    println!("-- {sql_all}\n{}\n", db.query(sql_all)?);
+    println!(
+        "-- {sql_all}\n{}\n",
+        db.execute(sql_all, &QueryOptions::new())?.rows
+    );
     // ada: 1000 > {900, 90} -> yes. grace: 250 > {300} -> no.
     // edsger: NULL > {100} -> unknown -> no.
     // barbara: 500 > {NULL} -> unknown -> no (a disputed invoice blocks).
@@ -65,26 +68,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Customers with no invoice at all (`NOT EXISTS` -> empty set).
     let sql_ne = "select name from customers \
                   where not exists (select * from invoices where invoices.cid = customers.cid)";
-    println!("-- {sql_ne}\n{}\n", db.query(sql_ne)?);
+    println!(
+        "-- {sql_ne}\n{}\n",
+        db.execute(sql_ne, &QueryOptions::new())?.rows
+    );
 
     // 3. `NOT IN` with NULLs in the subquery result: one NULL amount makes
     //    the predicate unknown for every row — standard SQL, frequently
     //    surprising, handled uniformly here.
     let sql_ni = "select iid from invoices where amount not in \
                   (select amount from invoices i2 where i2.cid <> invoices.cid)";
-    println!("-- {sql_ni}\n{}\n", db.query(sql_ni)?);
+    println!(
+        "-- {sql_ni}\n{}\n",
+        db.execute(sql_ni, &QueryOptions::new())?.rows
+    );
 
     // Every engine and strategy gives the same answer; `explain` shows
     // what each would do.
-    println!("explain: {}", db.explain(sql_all)?);
+    let explain = db.execute(sql_all, &QueryOptions::new().explain_only(true))?;
+    println!("explain: {}", explain.plan.unwrap());
     for engine in [
         Engine::Reference,
         Engine::Baseline,
         Engine::NestedRelational(Strategy::Original),
         Engine::NestedRelational(Strategy::Optimized),
     ] {
-        let out = db.query_with(sql_all, engine)?;
-        assert_eq!(out.len(), 1, "all engines agree");
+        let out = db.execute(sql_all, &QueryOptions::new().engine(engine))?;
+        assert_eq!(out.rows.len(), 1, "all engines agree");
     }
     println!("\nall engines agree ✓");
     Ok(())

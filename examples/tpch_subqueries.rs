@@ -9,18 +9,23 @@
 
 use std::time::Instant;
 
-use nra::{Database, Engine, Strategy};
+use nra::{Database, Engine, QueryOptions, Strategy};
 use nra_tpch::{generate, q1_sql, q2_sql, q3_sql, ExistsKind, Q3Corr, Quant, TpchConfig};
 
 fn time(db: &Database, sql: &str, engine: Engine) -> (usize, f64) {
     let start = Instant::now();
-    let out = db.query_with(sql, engine).expect("query runs");
-    (out.len(), start.elapsed().as_secs_f64())
+    let out = db
+        .execute(sql, &QueryOptions::new().engine(engine))
+        .expect("query runs");
+    (out.rows.len(), start.elapsed().as_secs_f64())
 }
 
 fn run(db: &Database, label: &str, sql: &str) {
     println!("== {label}");
-    println!("   {}", db.explain(sql).unwrap());
+    let explain = db
+        .execute(sql, &QueryOptions::new().explain_only(true))
+        .unwrap();
+    println!("   {}", explain.plan.unwrap());
     let engines = [
         ("baseline (System A)", Engine::Baseline),
         ("NR original", Engine::NestedRelational(Strategy::Original)),

@@ -15,6 +15,7 @@
 //! :export <table> <file.csv>    dump a table to CSV
 //! :tables                       list tables with row counts
 //! :engine <auto|original|optimized|bottomup|pushdown|positive|baseline|oracle>
+//! :threads <n|auto>             worker budget for partition-parallel execution
 //! :explain <sql>                plan choices + the paper's tree expression
 //! :analyze <sql>                EXPLAIN ANALYZE: plan + measured stats
 //! :trace <sql>                  query-lifecycle trace (parse/bind/plan/execute)
@@ -38,11 +39,12 @@ use std::time::Instant;
 use nra::core::TreeExpr;
 use nra::storage::csv::{read_rows, write_relation, CsvOptions};
 use nra::storage::{Column, ColumnType, Schema, Table};
-use nra::{Database, Engine, Strategy};
+use nra::{Database, Engine, QueryOptions, Strategy};
 
 struct Shell {
     db: Database,
     engine: Engine,
+    threads: Option<usize>,
     timing: bool,
 }
 
@@ -58,6 +60,7 @@ fn main() {
     let mut shell = Shell {
         db: Database::new(),
         engine: Engine::default(),
+        threads: None,
         timing: false,
     };
     println!("nra-cli — nested relational subquery processor (:help for commands)");
@@ -143,11 +146,20 @@ fn run_batch(args: &[String]) -> Result<(), String> {
         None => return Err(format!("{mode} needs a SQL argument")),
     };
     match mode {
-        "--explain-analyze" => print!("{}", db.explain_analyze(&sql).map_err(err)?),
+        "--explain-analyze" => {
+            let opts = QueryOptions::new()
+                .strategy(Strategy::Original)
+                .collect_profile(true)
+                .simulate_io(true);
+            let out = db.execute(&sql, &opts).map_err(err)?;
+            print!("{}", out.plan.ok_or("no plan rendered for this query")?);
+        }
         _ => {
-            let (rel, trace) = db.trace_query(&sql).map_err(err)?;
-            print!("{}", trace.render_tree());
-            println!("-- {} row(s)", rel.len());
+            let out = db
+                .execute(&sql, &QueryOptions::new().collect_trace(true))
+                .map_err(err)?;
+            print!("{}", out.trace.expect("trace collected").render_tree());
+            println!("-- {} row(s)", out.rows.len());
         }
     }
     Ok(())
@@ -176,15 +188,25 @@ impl Shell {
                     Ok(())
                 }
                 "engine" => self.cmd_engine(args),
+                "threads" => self.cmd_threads(args),
                 "explain" => self.cmd_explain(args),
                 "analyze" => {
-                    print!("{}", self.db.explain_analyze(args).map_err(err)?);
+                    let opts = self
+                        .opts()
+                        .strategy(Strategy::Original)
+                        .collect_profile(true)
+                        .simulate_io(true);
+                    let out = self.db.execute(args, &opts).map_err(err)?;
+                    print!("{}", out.plan.ok_or("no plan rendered for this query")?);
                     Ok(())
                 }
                 "trace" => {
-                    let (rel, trace) = self.db.trace_query(args).map_err(err)?;
-                    print!("{}", trace.render_tree());
-                    println!("-- {} row(s)", rel.len());
+                    let out = self
+                        .db
+                        .execute(args, &self.opts().collect_trace(true))
+                        .map_err(err)?;
+                    print!("{}", out.trace.expect("trace collected").render_tree());
+                    println!("-- {} row(s)", out.rows.len());
                     Ok(())
                 }
                 "timing" => {
@@ -199,11 +221,20 @@ impl Shell {
         }
     }
 
+    /// The session's standing execution options (engine + thread budget).
+    fn opts(&self) -> QueryOptions {
+        let opts = QueryOptions::new().engine(self.engine);
+        match self.threads {
+            Some(n) => opts.threads(n),
+            None => opts,
+        }
+    }
+
     fn run_sql(&self, sql: &str) -> Result<(), String> {
         let start = Instant::now();
-        let out = self.db.query_with(sql, self.engine).map_err(err)?;
+        let out = self.db.execute(sql, &self.opts()).map_err(err)?;
         let elapsed = start.elapsed();
-        println!("{out}");
+        println!("{}", out.rows);
         if self.timing {
             println!("({elapsed:.2?})");
         }
@@ -330,8 +361,26 @@ impl Shell {
         Ok(())
     }
 
+    fn cmd_threads(&mut self, args: &str) -> Result<(), String> {
+        if args.eq_ignore_ascii_case("auto") || args.is_empty() {
+            self.threads = None;
+            println!("threads: ambient (NRA_THREADS or sequential)");
+        } else {
+            let n: usize = args
+                .parse()
+                .map_err(|_| ":threads takes a worker count or `auto`".to_string())?;
+            self.threads = Some(n.max(1));
+            println!("threads set to {}", n.max(1));
+        }
+        Ok(())
+    }
+
     fn cmd_explain(&mut self, sql: &str) -> Result<(), String> {
-        println!("{}", self.db.explain(sql).map_err(err)?);
+        let out = self
+            .db
+            .execute(sql, &QueryOptions::new().explain_only(true))
+            .map_err(err)?;
+        println!("{}", out.plan.expect("explain_only sets plan"));
         let bq = self.db.prepare(sql).map_err(err)?;
         let tree = TreeExpr::build(&bq);
         println!("\ntree expression:\n{tree}");
@@ -352,6 +401,7 @@ const HELP: &str = "\
 :export <table> <file.csv>    dump a table to CSV
 :tables                       list tables with row counts
 :engine <auto|original|optimized|bottomup|pushdown|positive|baseline|oracle>
+:threads <n|auto>             worker budget for partition-parallel execution
 :explain <sql>                plan choices + the paper's tree expression
 :analyze <sql>                EXPLAIN ANALYZE: plan + measured stats
 :trace <sql>                  query-lifecycle trace (parse/bind/plan/execute)

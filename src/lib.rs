@@ -5,8 +5,11 @@
 //! subqueries, a flat relational engine with the commercial-style baseline
 //! plans, and the paper's nested relational evaluation strategies.
 //!
+//! Queries go through one entry point, [`Database::execute`], driven by a
+//! [`QueryOptions`] builder and returning a [`QueryOutcome`]:
+//!
 //! ```
-//! use nra::{Database, Engine};
+//! use nra::{Database, QueryOptions};
 //! use nra::storage::{Column, ColumnType, Value};
 //!
 //! let mut db = Database::new();
@@ -30,10 +33,24 @@
 //! // Employees earning more than everyone in department 2 — a `> ALL`
 //! // subquery, NULL-correct out of the box.
 //! let top = db
-//!     .query("select id from emp where salary > all \
-//!             (select salary from emp e2 where e2.dept = 2)")
+//!     .execute("select id from emp where salary > all \
+//!               (select salary from emp e2 where e2.dept = 2)",
+//!              &QueryOptions::new())
 //!     .unwrap();
-//! assert_eq!(top.len(), 0, "NULL salary in dept 2 blocks every comparison");
+//! assert_eq!(top.rows.len(), 0, "NULL salary in dept 2 blocks every comparison");
+//! ```
+//!
+//! The same call collects plans, operator profiles, lifecycle traces, and
+//! controls the partition-parallel executor:
+//!
+//! ```
+//! # use nra::{Database, QueryOptions};
+//! # let db = Database::new();
+//! # let _ = &db;
+//! let opts = QueryOptions::new()
+//!     .threads(4)             // worker budget for the morsel scheduler
+//!     .collect_profile(true); // per-operator stats in `outcome.profile`
+//! # let _ = opts;
 //! ```
 
 use std::fmt;
@@ -86,7 +103,15 @@ impl fmt::Display for NraError {
     }
 }
 
-impl std::error::Error for NraError {}
+impl std::error::Error for NraError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NraError::Storage(e) => Some(e),
+            NraError::Sql(e) => Some(e),
+            NraError::Engine(e) => Some(e),
+        }
+    }
+}
 
 impl From<StorageError> for NraError {
     fn from(e: StorageError) -> Self {
@@ -104,6 +129,106 @@ impl From<EngineError> for NraError {
     fn from(e: EngineError) -> Self {
         NraError::Engine(e)
     }
+}
+
+/// Per-call knobs for [`Database::execute`], built fluently:
+///
+/// ```
+/// use nra::{Engine, QueryOptions, Strategy};
+/// let opts = QueryOptions::new()
+///     .engine(Engine::NestedRelational(Strategy::Optimized))
+///     .threads(4)
+///     .collect_profile(true);
+/// # let _ = opts;
+/// ```
+///
+/// Everything defaults off: nested relational engine with the auto
+/// strategy, ambient thread budget (the `NRA_THREADS` environment
+/// variable, else sequential), no profile, no trace, no plan text.
+#[derive(Debug, Clone, Default)]
+pub struct QueryOptions {
+    engine: Engine,
+    threads: Option<usize>,
+    collect_profile: bool,
+    collect_trace: bool,
+    explain_only: bool,
+    simulate_io: bool,
+}
+
+impl QueryOptions {
+    pub fn new() -> QueryOptions {
+        QueryOptions::default()
+    }
+
+    /// Execute with an explicit engine (default: nested relational with
+    /// [`Strategy::Auto`]).
+    pub fn engine(mut self, engine: Engine) -> QueryOptions {
+        self.engine = engine;
+        self
+    }
+
+    /// Shorthand for the nested relational engine with a forced strategy.
+    pub fn strategy(self, strategy: Strategy) -> QueryOptions {
+        self.engine(Engine::NestedRelational(strategy))
+    }
+
+    /// Worker-thread budget for the partition-parallel executor
+    /// ([`engine::exec`]). Overrides the `NRA_THREADS` environment
+    /// variable for this call only; `1` forces sequential execution.
+    /// Results are identical at any thread count.
+    pub fn threads(mut self, n: usize) -> QueryOptions {
+        self.threads = Some(n);
+        self
+    }
+
+    /// Collect per-operator statistics; [`QueryOutcome::profile`] is then
+    /// `Some`. With the [`Strategy::Original`] nested relational engine
+    /// this also renders the analyzed plan into [`QueryOutcome::plan`]
+    /// (the `EXPLAIN ANALYZE` text).
+    pub fn collect_profile(mut self, on: bool) -> QueryOptions {
+        self.collect_profile = on;
+        self
+    }
+
+    /// Capture the query-lifecycle trace (parse/bind/plan/execute phases,
+    /// planner decisions, rewrites, operator events);
+    /// [`QueryOutcome::trace`] is then `Some`.
+    pub fn collect_trace(mut self, on: bool) -> QueryOptions {
+        self.collect_trace = on;
+        self
+    }
+
+    /// Don't execute: return only the one-line plan description in
+    /// [`QueryOutcome::plan`] (the classic `EXPLAIN`).
+    pub fn explain_only(mut self, on: bool) -> QueryOptions {
+        self.explain_only = on;
+        self
+    }
+
+    /// Run the I/O simulator for the duration of the call (unless the
+    /// caller already enabled it), so profiles carry page counts.
+    pub fn simulate_io(mut self, on: bool) -> QueryOptions {
+        self.simulate_io = on;
+        self
+    }
+}
+
+/// Everything a [`Database::execute`] call produced.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The result relation (empty with an empty schema under
+    /// [`QueryOptions::explain_only`]).
+    pub rows: Relation,
+    /// Plan text: the one-line engine description under `explain_only`,
+    /// or the operator-annotated `EXPLAIN ANALYZE` tree when a profile
+    /// was collected with the Algorithm 1 strategy.
+    pub plan: Option<String>,
+    /// Per-operator statistics, when requested.
+    pub profile: Option<obs::Profile>,
+    /// The captured lifecycle trace, when requested.
+    pub trace: Option<obs::trace::Trace>,
+    /// The worker-thread budget the call ran with (1 = sequential).
+    pub threads: usize,
 }
 
 /// An in-memory database: a catalog plus query execution.
@@ -157,22 +282,142 @@ impl Database {
         Ok(nra_sql::parse_and_bind(sql, &self.catalog)?)
     }
 
-    /// Execute with the default engine (nested relational, auto strategy).
-    pub fn query(&self, sql: &str) -> Result<Relation, NraError> {
-        self.query_with(sql, Engine::default())
+    /// The single query entry point: parse, plan and run `sql` under
+    /// `options`, returning rows plus whatever artifacts were requested.
+    ///
+    /// Supports compound queries (`UNION`/`INTERSECT`/`EXCEPT [ALL]`)
+    /// plus `ORDER BY` (ascending sorts place `NULL` first, descending
+    /// last) and `LIMIT`: each `SELECT` block runs through the chosen
+    /// engine, the combined result goes through the set-operation algebra
+    /// (`nra_engine::ops::setops`).
+    ///
+    /// Parallelism: the call runs under the thread budget from
+    /// [`QueryOptions::threads`] (falling back to the `NRA_THREADS`
+    /// environment variable, else sequential). The partition-parallel
+    /// executor is deterministic — rows, their order, and every profile
+    /// counter except wall times and partition counts are identical at
+    /// any thread count.
+    ///
+    /// Observability side effects match the old dedicated methods: a
+    /// profile collector or tracer already installed on this thread is
+    /// replaced when the corresponding option is set, and both are left
+    /// disabled on return. Under [`QueryOptions::collect_trace`] the
+    /// environment sinks also apply (`NRA_TRACE=1` mirrors to stderr,
+    /// `NRA_TRACE_FILE=path` appends JSONL).
+    pub fn execute(&self, sql: &str, options: &QueryOptions) -> Result<QueryOutcome, NraError> {
+        let _budget = options
+            .threads
+            .map(|n| nra_engine::exec::set_threads(Some(n)));
+        let threads = nra_engine::exec::threads();
+
+        if options.explain_only {
+            return Ok(QueryOutcome {
+                rows: Relation::new(Schema::new(Vec::new())),
+                plan: Some(self.explain_text(sql)?),
+                profile: None,
+                trace: None,
+                threads,
+            });
+        }
+
+        use nra_obs::trace::{self, TraceEvent};
+        let trace_handle = if options.collect_trace {
+            let (ring, handle) = trace::RingSink::with_capacity(4096);
+            let mut sinks: Vec<Box<dyn trace::TraceSink>> = vec![Box::new(ring)];
+            sinks.extend(trace::env_sinks());
+            trace::start(sinks);
+            trace::emit(|| TraceEvent::QueryStart {
+                sql: sql.to_string(),
+            });
+            Some(handle)
+        } else {
+            None
+        };
+        let started = std::time::Instant::now();
+
+        if options.collect_profile {
+            nra_obs::enable();
+        }
+        let own_io = options.simulate_io && !storage::iosim::is_enabled();
+        if own_io {
+            storage::iosim::enable(storage::iosim::IoConfig::default());
+        }
+
+        let result = self.run_statements(sql, options.engine);
+
+        let mut profile = if options.collect_profile {
+            nra_obs::disable()
+        } else {
+            None
+        };
+        if own_io {
+            storage::iosim::disable();
+        }
+        let trace = trace_handle.map(|handle| {
+            if let Ok((rel, _)) = &result {
+                let rows = rel.len() as u64;
+                trace::emit(|| TraceEvent::QueryEnd {
+                    rows,
+                    wall_ns: started.elapsed().as_nanos() as u64,
+                });
+            }
+            trace::stop();
+            handle.take()
+        });
+
+        let (rows, bound) = result?;
+        if let Some(p) = &mut profile {
+            p.threads = threads;
+        }
+
+        // The analyzed plan is rendered only when the executed pipeline
+        // matches the textbook operator tree node for node: Algorithm 1
+        // (the two-pass original strategy) on a single statement. Other
+        // strategies fuse or reorder operators away from the tree.
+        let plan = match (&profile, &bound, options.engine) {
+            (Some(p), Some(b), Engine::NestedRelational(Strategy::Original)) => {
+                let tree = nra_core::TreeExpr::build(b);
+                let mut out = tree.render_plan_analyzed(p);
+                out.push_str(&format!(
+                    "-- {} row(s); total operator time {:.3} ms\n",
+                    rows.len(),
+                    p.total_wall_ns() as f64 / 1e6
+                ));
+                if let Some(io) = &p.io {
+                    out.push_str(&format!(
+                        "-- io: {} sequential page(s), {} random hit(s), {} random miss(es)\n",
+                        io.seq_pages, io.rand_hits, io.rand_misses
+                    ));
+                }
+                Some(out)
+            }
+            _ => None,
+        };
+
+        Ok(QueryOutcome {
+            rows,
+            plan,
+            profile,
+            trace,
+            threads,
+        })
     }
 
-    /// Execute with an explicit engine. Supports compound queries
-    /// (`UNION`/`INTERSECT`/`EXCEPT [ALL]`) plus `ORDER BY` (ascending
-    /// sorts place `NULL` first, descending last) and `LIMIT`,
-    /// which are applied over the per-block results: each `SELECT` block
-    /// runs through the chosen engine, the combined result goes through
-    /// the set-operation algebra (`nra_engine::ops::setops`).
-    pub fn query_with(&self, sql: &str, engine: Engine) -> Result<Relation, NraError> {
+    /// Parse and run a full (possibly compound) query through `engine`,
+    /// returning the result and — for single-statement queries — the
+    /// bound form of the statement for plan rendering.
+    fn run_statements(
+        &self,
+        sql: &str,
+        engine: Engine,
+    ) -> Result<(Relation, Option<BoundQuery>), NraError> {
         let query = nra_sql::parse_query(sql)?;
-        let mut rel = self.run(&nra_sql::bind(&query.first, &self.catalog)?, engine)?;
+        let bound_first = nra_sql::bind(&query.first, &self.catalog)?;
+        let single = query.compounds.is_empty();
+        let mut exec_phase = obs::trace::phase(|| "execute".to_string());
+        let mut rel = self.run_bound(&bound_first, engine)?;
         for part in &query.compounds {
-            let right = self.run(&nra_sql::bind(&part.stmt, &self.catalog)?, engine)?;
+            let right = self.run_bound(&nra_sql::bind(&part.stmt, &self.catalog)?, engine)?;
             use nra_engine::ops::setops;
             use nra_sql::SetOpKind;
             rel = match (part.op, part.all) {
@@ -223,11 +468,13 @@ impl Database {
         if let Some(n) = query.limit {
             rel.rows_mut().truncate(n);
         }
-        Ok(rel)
+        exec_phase.set_rows(rel.len() as u64);
+        drop(exec_phase);
+        Ok((rel, single.then_some(bound_first)))
     }
 
-    /// Execute a prepared query.
-    pub fn run(&self, query: &BoundQuery, engine: Engine) -> Result<Relation, NraError> {
+    /// Execute a prepared (bound) single statement.
+    fn run_bound(&self, query: &BoundQuery, engine: Engine) -> Result<Relation, NraError> {
         Ok(match engine {
             Engine::NestedRelational(strategy) => {
                 nra_core::execute(query, &self.catalog, strategy)?
@@ -237,10 +484,9 @@ impl Database {
         })
     }
 
-    /// A one-line description of the plan each engine would use. For a
-    /// compound query, explains the first `SELECT` block and notes the
-    /// set operations applied on top.
-    pub fn explain(&self, sql: &str) -> Result<String, NraError> {
+    /// The one-line `EXPLAIN` text. For a compound query, explains the
+    /// first `SELECT` block and notes the set operations applied on top.
+    fn explain_text(&self, sql: &str) -> Result<String, NraError> {
         let parsed = nra_sql::parse_query(sql)?;
         let suffix = if parsed.compounds.is_empty() {
             String::new()
@@ -265,93 +511,62 @@ impl Database {
         ))
     }
 
-    /// `EXPLAIN ANALYZE`: execute the query under the observability
-    /// collector ([`obs`]) and render the Algorithm 1 plan with each
-    /// operator node annotated by its measured statistics — rows in/out,
-    /// wall time, hash-table build sizes, nest group counts, linking
-    /// three-valued outcomes, and NULL-padded tuples — followed by a
-    /// footer with the result cardinality, total operator time, and the
-    /// simulated I/O page counts.
-    ///
-    /// The query runs with [`Strategy::Original`] (the two-pass
-    /// Algorithm 1) so the executed operator pipeline matches the
-    /// rendered plan node for node; other strategies fuse or reorder
-    /// operators away from the textbook tree. Any profile being
-    /// collected on this thread is replaced, and the collector is left
-    /// disabled on return. The I/O simulator is enabled for the duration
-    /// unless the caller already turned it on.
-    pub fn explain_analyze(&self, sql: &str) -> Result<String, NraError> {
-        use nra_storage::iosim;
-        let bound = self.prepare(sql)?;
-        nra_obs::enable();
-        let own_io = !iosim::is_enabled();
-        if own_io {
-            iosim::enable(iosim::IoConfig::default());
-        }
-        let result = self.run(&bound, Engine::NestedRelational(Strategy::Original));
-        let profile = nra_obs::disable().expect("collector enabled above");
-        if own_io {
-            iosim::disable();
-        }
-        let rel = result?;
-        let tree = nra_core::TreeExpr::build(&bound);
-        let mut out = tree.render_plan_analyzed(&profile);
-        out.push_str(&format!(
-            "-- {} row(s); total operator time {:.3} ms\n",
-            rel.len(),
-            profile.total_wall_ns() as f64 / 1e6
-        ));
-        if let Some(io) = &profile.io {
-            out.push_str(&format!(
-                "-- io: {} sequential page(s), {} random hit(s), {} random miss(es)\n",
-                io.seq_pages, io.rand_hits, io.rand_misses
-            ));
-        }
-        Ok(out)
+    /// Execute with the default engine (nested relational, auto strategy).
+    #[deprecated(note = "use `execute(sql, &QueryOptions::new())` and read `.rows`")]
+    pub fn query(&self, sql: &str) -> Result<Relation, NraError> {
+        Ok(self.execute(sql, &QueryOptions::new())?.rows)
     }
 
-    /// Execute `sql` with query-lifecycle tracing ([`obs::trace`]) and
-    /// return both the result and the captured trace: a hierarchical
-    /// record of the parse, bind, plan and execute phases with their wall
-    /// times, the `Bound` summary (block count, linking operators), one
-    /// `StrategyChosen` event per query block explaining why the planner
-    /// picked its strategy there (plus the rejected alternatives),
-    /// `RewriteStep` events for the §4.2 transformations applied, and one
-    /// `Op` event per executed operator using the same qualified names as
-    /// [`obs::Profile`] so traces and profiles correlate.
-    ///
-    /// Runs with the default engine (nested relational, auto strategy).
-    /// Events are captured in an in-memory ring buffer (up to 4096
-    /// entries); the environment sinks also apply, so `NRA_TRACE=1`
-    /// mirrors the trace to stderr and `NRA_TRACE_FILE=path` appends it
-    /// as JSONL. Any tracer already installed on this thread is replaced,
-    /// and tracing is left disabled on return.
+    /// Execute with an explicit engine.
+    #[deprecated(note = "use `execute` with `QueryOptions::new().engine(engine)`")]
+    pub fn query_with(&self, sql: &str, engine: Engine) -> Result<Relation, NraError> {
+        Ok(self.execute(sql, &QueryOptions::new().engine(engine))?.rows)
+    }
+
+    /// Execute a prepared query.
+    #[deprecated(note = "prepare/run is folded into `execute`; use \
+                         `execute` with `QueryOptions::new().engine(engine)`")]
+    pub fn run(&self, query: &BoundQuery, engine: Engine) -> Result<Relation, NraError> {
+        self.run_bound(query, engine)
+    }
+
+    /// A one-line description of the plan each engine would use.
+    #[deprecated(note = "use `execute` with `QueryOptions::new().explain_only(true)` \
+                         and read `.plan`")]
+    pub fn explain(&self, sql: &str) -> Result<String, NraError> {
+        Ok(self
+            .execute(sql, &QueryOptions::new().explain_only(true))?
+            .plan
+            .expect("explain_only always sets plan"))
+    }
+
+    /// `EXPLAIN ANALYZE`: execute under the observability collector and
+    /// render the Algorithm 1 plan with measured per-operator statistics.
+    #[deprecated(note = "use `execute` with `QueryOptions::new()\
+                         .strategy(Strategy::Original).collect_profile(true)\
+                         .simulate_io(true)` and read `.plan`")]
+    pub fn explain_analyze(&self, sql: &str) -> Result<String, NraError> {
+        let opts = QueryOptions::new()
+            .strategy(Strategy::Original)
+            .collect_profile(true)
+            .simulate_io(true);
+        self.execute(sql, &opts)?.plan.ok_or_else(|| {
+            NraError::Sql(SqlError::bind(
+                "EXPLAIN ANALYZE renders a plan for single SELECT statements only",
+            ))
+        })
+    }
+
+    /// Execute `sql` with query-lifecycle tracing and return both the
+    /// result and the captured trace.
+    #[deprecated(note = "use `execute` with `QueryOptions::new().collect_trace(true)` \
+                         and read `.rows` / `.trace`")]
     pub fn trace_query(&self, sql: &str) -> Result<(Relation, obs::trace::Trace), NraError> {
-        use nra_obs::trace::{self, TraceEvent};
-        let (ring, handle) = trace::RingSink::with_capacity(4096);
-        let mut sinks: Vec<Box<dyn trace::TraceSink>> = vec![Box::new(ring)];
-        sinks.extend(trace::env_sinks());
-        trace::start(sinks);
-        let started = std::time::Instant::now();
-        trace::emit(|| TraceEvent::QueryStart {
-            sql: sql.to_string(),
-        });
-        let result = (|| -> Result<Relation, NraError> {
-            let bound = self.prepare(sql)?;
-            let mut exec = trace::phase(|| "execute".to_string());
-            let rel = self.run(&bound, Engine::default())?;
-            exec.set_rows(rel.len() as u64);
-            Ok(rel)
-        })();
-        if let Ok(rel) = &result {
-            let rows = rel.len() as u64;
-            trace::emit(|| TraceEvent::QueryEnd {
-                rows,
-                wall_ns: started.elapsed().as_nanos() as u64,
-            });
-        }
-        trace::stop();
-        Ok((result?, handle.take()))
+        let out = self.execute(sql, &QueryOptions::new().collect_trace(true))?;
+        Ok((
+            out.rows,
+            out.trace.expect("collect_trace always sets trace"),
+        ))
     }
 }
 
@@ -385,17 +600,25 @@ mod tests {
     #[test]
     fn create_insert_query_roundtrip() {
         let db = db();
-        let out = db.query("select k from x where v is not null").unwrap();
-        assert_eq!(out.len(), 1);
+        let out = db
+            .execute("select k from x where v is not null", &QueryOptions::new())
+            .unwrap();
+        assert_eq!(out.rows.len(), 1);
+        assert!(out.plan.is_none() && out.profile.is_none() && out.trace.is_none());
     }
 
     #[test]
     fn engines_agree() {
         let db = db();
         let sql = "select k from x where v not in (select v from x x2 where x2.k <> x.k)";
-        let nr = db.query_with(sql, Engine::default()).unwrap();
-        let base = db.query_with(sql, Engine::Baseline).unwrap();
-        let oracle = db.query_with(sql, Engine::Reference).unwrap();
+        let run = |engine| {
+            db.execute(sql, &QueryOptions::new().engine(engine))
+                .unwrap()
+                .rows
+        };
+        let nr = run(Engine::default());
+        let base = run(Engine::Baseline);
+        let oracle = run(Engine::Reference);
         assert!(nr.multiset_eq(&oracle));
         assert!(base.multiset_eq(&oracle));
     }
@@ -403,18 +626,64 @@ mod tests {
     #[test]
     fn explain_mentions_both_engines() {
         let db = db();
-        let s = db
-            .explain("select k from x where v in (select v from x x2)")
+        let out = db
+            .execute(
+                "select k from x where v in (select v from x x2)",
+                &QueryOptions::new().explain_only(true),
+            )
             .unwrap();
+        let s = out.plan.unwrap();
         assert!(s.contains("nested relational"));
         assert!(s.contains("System A"));
+        assert_eq!(out.rows.len(), 0, "explain_only does not execute");
     }
 
     #[test]
-    fn errors_are_surfaced() {
+    fn outcome_carries_requested_artifacts() {
+        let db = db();
+        let sql = "select k from x where v in (select v from x x2 where x2.k <> x.k)";
+        let out = db
+            .execute(
+                sql,
+                &QueryOptions::new()
+                    .strategy(Strategy::Original)
+                    .collect_profile(true)
+                    .collect_trace(true)
+                    .threads(1),
+            )
+            .unwrap();
+        assert_eq!(out.threads, 1);
+        let profile = out.profile.expect("profile requested");
+        assert_eq!(profile.threads, 1);
+        assert!(!profile.ops.is_empty());
+        assert!(out.plan.expect("Algorithm 1 plan").contains("rows="));
+        assert!(!out.trace.expect("trace requested").entries.is_empty());
+    }
+
+    #[test]
+    fn deprecated_shims_still_answer() {
+        #![allow(deprecated)]
+        let db = db();
+        let sql = "select k from x where v is not null";
+        assert_eq!(db.query(sql).unwrap().len(), 1);
+        assert_eq!(db.query_with(sql, Engine::Reference).unwrap().len(), 1);
+        let bound = db.prepare(sql).unwrap();
+        assert_eq!(db.run(&bound, Engine::default()).unwrap().len(), 1);
+        assert!(db.explain(sql).unwrap().contains("nested relational"));
+        assert!(db.explain_analyze(sql).unwrap().contains("rows="));
+        let (rel, trace) = db.trace_query(sql).unwrap();
+        assert_eq!(rel.len(), 1);
+        assert!(!trace.entries.is_empty());
+    }
+
+    #[test]
+    fn errors_are_surfaced_with_sources() {
         let mut db = db();
-        assert!(db.query("select nope from x").is_err());
-        assert!(db.query("not sql at all").is_err());
+        let err = db
+            .execute("select nope from x", &QueryOptions::new())
+            .unwrap_err();
+        assert!(std::error::Error::source(&err).is_some(), "{err}");
+        assert!(db.execute("not sql at all", &QueryOptions::new()).is_err());
         assert!(db
             .insert("x", vec![vec![Value::Null, Value::Null]])
             .is_err());

@@ -3,7 +3,7 @@
 //! of quantified). Includes the classical "count bug" scenario that naive
 //! unnesting rewrites get wrong.
 
-use nra::{Database, Engine, Strategy};
+use nra::{Database, Engine, QueryOptions, Strategy};
 use nra_storage::{Column, ColumnType, Value};
 
 fn db() -> Database {
@@ -65,7 +65,10 @@ fn engines() -> Vec<(&'static str, Engine)> {
 
 fn check(db: &Database, sql: &str, expected_rows: usize) {
     for (name, engine) in engines() {
-        let out = db.query_with(sql, engine).unwrap();
+        let out = db
+            .execute(sql, &QueryOptions::new().engine(engine))
+            .unwrap()
+            .rows;
         assert_eq!(
             out.len(),
             expected_rows,
@@ -175,12 +178,19 @@ fn explain_shows_aggregate_link() {
 #[test]
 fn binder_rejects_misplaced_aggregates() {
     let db = db();
-    assert!(db.query("select max(budget) from dept").is_err());
+    let opts = QueryOptions::new();
+    assert!(db.execute("select max(budget) from dept", &opts).is_err());
     assert!(db
-        .query("select dno from dept where budget in (select max(salary) from emp)")
+        .execute(
+            "select dno from dept where budget in (select max(salary) from emp)",
+            &opts
+        )
         .is_err());
     assert!(db
-        .query("select dno from dept where budget > (select salary from emp)")
+        .execute(
+            "select dno from dept where budget > (select salary from emp)",
+            &opts
+        )
         .is_err());
 }
 

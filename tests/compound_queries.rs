@@ -3,7 +3,7 @@
 //! algebra.
 
 use nra::storage::{Column, ColumnType, Value};
-use nra::{Database, Engine, Strategy};
+use nra::{Database, Engine, QueryOptions, Strategy};
 
 fn db() -> Database {
     let mut db = Database::new();
@@ -39,44 +39,42 @@ fn db() -> Database {
     db
 }
 
+fn q(db: &Database, sql: &str) -> nra_storage::Relation {
+    db.execute(sql, &QueryOptions::new()).unwrap().rows
+}
+
 #[test]
 fn union_dedups_across_blocks() {
-    let out = db().query("select v from t union select v from u").unwrap();
+    let out = q(&db(), "select v from t union select v from u");
     // {10, 20, NULL, 40} — set semantics merge the NULLs and the 20s.
     assert_eq!(out.len(), 4);
 }
 
 #[test]
 fn union_all_keeps_everything() {
-    let out = db()
-        .query("select v from t union all select v from u")
-        .unwrap();
+    let out = q(&db(), "select v from t union all select v from u");
     assert_eq!(out.len(), 6);
 }
 
 #[test]
 fn intersect_and_except() {
     let db = db();
-    let i = db
-        .query("select k, v from t intersect select k, v from u")
-        .unwrap();
+    let i = q(&db, "select k, v from t intersect select k, v from u");
     assert_eq!(i.len(), 1, "only (2, 20) is in both");
-    let e = db.query("select k from t except select k from u").unwrap();
+    let e = q(&db, "select k from t except select k from u");
     assert_eq!(e.len(), 2, "k = 1 and 3");
 }
 
 #[test]
 fn order_by_and_limit() {
-    let out = db()
-        .query("select k, v from t order by v desc limit 2")
-        .unwrap();
+    let out = q(&db(), "select k, v from t order by v desc limit 2");
     assert_eq!(out.len(), 2);
     assert_eq!(out.rows()[0][1], Value::Int(20), "descending: 20 first");
     // Positional ORDER BY.
-    let by_pos = db().query("select k, v from t order by 1 desc").unwrap();
+    let by_pos = q(&db(), "select k, v from t order by 1 desc");
     assert_eq!(by_pos.rows()[0][0], Value::Int(3));
     // Ascending puts NULL first (total order).
-    let asc = db().query("select v from t order by v").unwrap();
+    let asc = q(&db(), "select v from t order by v");
     assert!(asc.rows()[0][0].is_null());
 }
 
@@ -86,13 +84,19 @@ fn compound_arms_can_hold_subqueries() {
     let sql = "select k from t where v > all (select v from u where u.k = t.k) \
                union select k from u where not exists \
                  (select * from t t2 where t2.k = u.k)";
-    let oracle = db.query_with(sql, Engine::Reference).unwrap();
+    let oracle = db
+        .execute(sql, &QueryOptions::new().engine(Engine::Reference))
+        .unwrap()
+        .rows;
     for engine in [
         Engine::Baseline,
         Engine::NestedRelational(Strategy::Original),
         Engine::NestedRelational(Strategy::Optimized),
     ] {
-        let got = db.query_with(sql, engine).unwrap();
+        let got = db
+            .execute(sql, &QueryOptions::new().engine(engine))
+            .unwrap()
+            .rows;
         assert!(got.multiset_eq(&oracle), "{engine:?}");
     }
 }
@@ -100,13 +104,14 @@ fn compound_arms_can_hold_subqueries() {
 #[test]
 fn errors_surface() {
     let db = db();
+    let opts = QueryOptions::new();
     assert!(
-        db.query("select k, v from t union select k from u")
+        db.execute("select k, v from t union select k from u", &opts)
             .is_err(),
         "arity"
     );
-    assert!(db.query("select k from t order by nope").is_err());
-    assert!(db.query("select k from t limit -1").is_err());
+    assert!(db.execute("select k from t order by nope", &opts).is_err());
+    assert!(db.execute("select k from t limit -1", &opts).is_err());
     // prepare() remains single-block only.
     assert!(db.prepare("select k from t union select k from u").is_err());
 }

@@ -43,8 +43,9 @@ fn tpch_roundtrip_through_csv_files() {
     let sql = q1_sql(&cat, 60);
     let original = Database::from_catalog(cat);
     let reloaded = Database::from_catalog(fresh);
-    let a = original.query_with(&sql, Engine::default()).unwrap();
-    let b = reloaded.query_with(&sql, Engine::default()).unwrap();
+    let opts = nra::QueryOptions::new().engine(Engine::default());
+    let a = original.execute(&sql, &opts).unwrap().rows;
+    let b = reloaded.execute(&sql, &opts).unwrap().rows;
     assert!(a.multiset_eq(&b), "round-tripped data changed the answer");
 
     std::fs::remove_dir_all(&dir).ok();

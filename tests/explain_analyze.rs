@@ -4,17 +4,32 @@
 
 use nra::obs;
 use nra::tpch::paper_example::{rst_catalog, QUERY_Q};
-use nra::{Database, Engine, Strategy};
+use nra::{Database, QueryOptions, Strategy};
 
 fn db() -> Database {
     Database::from_catalog(rst_catalog())
+}
+
+/// `EXPLAIN ANALYZE` through the unified API: profile + simulated I/O
+/// under the Original strategy, reading the rendered analyzed plan.
+fn analyze(db: &Database) -> String {
+    db.execute(
+        QUERY_Q,
+        &QueryOptions::new()
+            .strategy(Strategy::Original)
+            .collect_profile(true)
+            .simulate_io(true),
+    )
+    .unwrap()
+    .plan
+    .unwrap()
 }
 
 /// The deterministic skeleton of the analyzed plan: operator shapes and
 /// cardinalities are fixed by the catalog; only timings vary run to run.
 #[test]
 fn analyzed_paper_plan_matches_golden_text() {
-    let text = db().explain_analyze(QUERY_Q).unwrap();
+    let text = analyze(&db());
     for expected in [
         // Root projection passes the two answer tuples through.
         "π (root select)  (rows=2→2, ",
@@ -47,7 +62,7 @@ fn analyzed_paper_plan_matches_golden_text() {
 /// non-zero timing — nothing may render as `(not executed)`.
 #[test]
 fn every_operator_node_is_annotated() {
-    let text = db().explain_analyze(QUERY_Q).unwrap();
+    let text = analyze(&db());
     let plan_lines: Vec<&str> = text.lines().filter(|l| !l.starts_with("--")).collect();
     assert_eq!(plan_lines.len(), 10, "plan shape changed:\n{text}");
     for line in plan_lines {
@@ -74,12 +89,16 @@ fn every_operator_node_is_annotated() {
 #[test]
 fn nest_rows_out_equals_group_count() {
     let database = db();
-    let bound = database.prepare(QUERY_Q).unwrap();
-    obs::enable();
-    database
-        .run(&bound, Engine::NestedRelational(Strategy::Original))
+    let profile = database
+        .execute(
+            QUERY_Q,
+            &QueryOptions::new()
+                .strategy(Strategy::Original)
+                .collect_profile(true),
+        )
+        .unwrap()
+        .profile
         .unwrap();
-    let profile = obs::disable().unwrap();
     let nests: Vec<_> = profile
         .ops
         .iter()
@@ -100,12 +119,16 @@ fn nest_rows_out_equals_group_count() {
 #[test]
 fn padded_tuples_equal_failing_tuples() {
     let database = db();
-    let bound = database.prepare(QUERY_Q).unwrap();
-    obs::enable();
-    database
-        .run(&bound, Engine::NestedRelational(Strategy::Original))
+    let profile = database
+        .execute(
+            QUERY_Q,
+            &QueryOptions::new()
+                .strategy(Strategy::Original)
+                .collect_profile(true),
+        )
+        .unwrap()
+        .profile
         .unwrap();
-    let profile = obs::disable().unwrap();
     let padded: Vec<_> = profile
         .ops
         .iter()
@@ -132,15 +155,15 @@ fn padded_tuples_equal_failing_tuples() {
 fn counters_stay_zero_when_disabled() {
     let database = db();
     assert!(!obs::is_enabled());
-    database.query(QUERY_Q).unwrap();
+    database.execute(QUERY_Q, &QueryOptions::new()).unwrap();
     let snap = obs::snapshot();
     assert!(snap.is_empty(), "disabled run must record nothing");
     assert!(snap.ops.is_empty());
 
-    database.explain_analyze(QUERY_Q).unwrap();
+    analyze(&database);
     assert!(
         !obs::is_enabled(),
-        "explain_analyze restores disabled state"
+        "profile collection restores disabled state"
     );
     assert!(obs::snapshot().is_empty());
 }

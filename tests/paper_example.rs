@@ -2,7 +2,7 @@
 //! R(A,B,C,D), S(E,F,G,H,I), T(J,K,L), evaluated by every engine and
 //! strategy, checked against the hand-derived answer.
 
-use nra::{Database, Engine, Strategy};
+use nra::{Database, Engine, QueryOptions, Strategy};
 use nra_storage::{Relation, Schema, Value};
 use nra_tpch::paper_example::{expected_query_q_result, rst_catalog, QUERY_Q};
 
@@ -27,7 +27,10 @@ fn query_q_all_engines_and_strategies() {
         ("nr-auto", Engine::NestedRelational(Strategy::Auto)),
     ];
     for (name, engine) in engines {
-        let got = db.query_with(QUERY_Q, engine).unwrap();
+        let got = db
+            .execute(QUERY_Q, &QueryOptions::new().engine(engine))
+            .unwrap()
+            .rows;
         let want = expected_relation(&got);
         assert!(
             got.multiset_eq(&want),
@@ -41,7 +44,11 @@ fn query_q_explain_reports_nested_iteration_baseline() {
     // Query Q has negative links (NOT IN, ALL) and non-adjacent
     // correlation: System A cannot unnest it.
     let db = Database::from_catalog(rst_catalog());
-    let plan = db.explain(QUERY_Q).unwrap();
+    let plan = db
+        .execute(QUERY_Q, &QueryOptions::new().explain_only(true))
+        .unwrap()
+        .plan
+        .unwrap();
     assert!(plan.contains("nested iteration"), "plan was: {plan}");
 }
 
@@ -76,8 +83,12 @@ fn section2_null_example_gt_all() {
         Engine::NestedRelational(Strategy::Auto),
     ] {
         let out = db
-            .query_with("select a from ra where a > all (select b from sb)", engine)
-            .unwrap();
+            .execute(
+                "select a from ra where a > all (select b from sb)",
+                &QueryOptions::new().engine(engine),
+            )
+            .unwrap()
+            .rows;
         assert_eq!(
             out.len(),
             0,
@@ -104,8 +115,12 @@ fn section2_null_example_gt_all() {
     )
     .unwrap();
     let out = db2
-        .query("select a from ra where a > all (select b from sb)")
-        .unwrap();
+        .execute(
+            "select a from ra where a > all (select b from sb)",
+            &QueryOptions::new(),
+        )
+        .unwrap()
+        .rows;
     assert_eq!(out.len(), 1);
 }
 
@@ -121,8 +136,12 @@ fn not_in_with_null_rejects_all() {
         Engine::NestedRelational(Strategy::Optimized),
     ] {
         let out = db
-            .query_with("select b from r where b not in (select j from t)", engine)
-            .unwrap();
+            .execute(
+                "select b from r where b not in (select j from t)",
+                &QueryOptions::new().engine(engine),
+            )
+            .unwrap()
+            .rows;
         assert_eq!(out.len(), 0, "engine {engine:?}");
     }
 }
@@ -133,11 +152,19 @@ fn not_in_with_null_rejects_all() {
 fn empty_set_quantifier_semantics() {
     let db = Database::from_catalog(rst_catalog());
     let all = db
-        .query("select d from r where b > all (select e from s where s.f = 999)")
-        .unwrap();
+        .execute(
+            "select d from r where b > all (select e from s where s.f = 999)",
+            &QueryOptions::new(),
+        )
+        .unwrap()
+        .rows;
     assert_eq!(all.len(), 4, "every r row qualifies, including b = NULL");
     let some = db
-        .query("select d from r where b > some (select e from s where s.f = 999)")
-        .unwrap();
+        .execute(
+            "select d from r where b > some (select e from s where s.f = 999)",
+            &QueryOptions::new(),
+        )
+        .unwrap()
+        .rows;
     assert_eq!(some.len(), 0);
 }

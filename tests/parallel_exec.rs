@@ -1,0 +1,149 @@
+//! End-to-end checks for the partition-parallel executor behind the
+//! unified `execute(sql, &QueryOptions) -> QueryOutcome` API.
+//!
+//! The determinism contract under test: for any query, any strategy and
+//! any thread budget, the result relation is *identical* — same tuples,
+//! same order — to the single-threaded run. Partitioning only changes
+//! wall time, never answers.
+
+use nra::engine::exec;
+use nra::tpch::gen::{generate, TpchConfig};
+use nra::tpch::queries::{q2_sql, Quant};
+use nra::{Database, Engine, QueryOptions, Strategy};
+
+fn rows_at(db: &Database, sql: &str, engine: Engine, threads: usize) -> nra::storage::Relation {
+    db.execute(sql, &QueryOptions::new().engine(engine).threads(threads))
+        .unwrap()
+        .rows
+}
+
+const ENGINES: [Engine; 4] = [
+    Engine::Baseline,
+    Engine::NestedRelational(Strategy::Original),
+    Engine::NestedRelational(Strategy::Optimized),
+    Engine::NestedRelational(Strategy::Auto),
+];
+
+/// Paper Query 2 (both quantifier variants) on generated TPC-H data,
+/// strict and nullable: every engine must return the byte-identical
+/// relation at 1, 2 and 4 threads. `lineitem` at this scale exceeds the
+/// default morsel floor, so the hash-join build/probe sides genuinely
+/// partition.
+#[test]
+fn tpch_q2_byte_identical_across_thread_counts() {
+    let strict = generate(&TpchConfig::tiny());
+    let nullable = generate(&TpchConfig::tiny().nullable_links(0.05));
+    for cat in [strict, nullable] {
+        for quant in [Quant::Any, Quant::All] {
+            let sql = q2_sql(&cat, quant, 200, 400);
+            let db = Database::from_catalog(cat.clone());
+            for engine in ENGINES {
+                let seq = rows_at(&db, &sql, engine, 1);
+                for threads in [2, 4] {
+                    let par = rows_at(&db, &sql, engine, threads);
+                    assert!(
+                        par.rows() == seq.rows(),
+                        "{engine:?} at {threads} threads differs on {quant:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Same contract with the morsel floor lowered to one row, forcing every
+/// operator — not just the big scans — through the partitioned paths.
+#[test]
+fn tpch_q2_identical_with_one_row_morsels() {
+    let cat = generate(&TpchConfig::tiny().nullable_links(0.05));
+    let sql = q2_sql(&cat, Quant::All, 100, 200);
+    let db = Database::from_catalog(cat);
+    for engine in ENGINES {
+        let seq = rows_at(&db, &sql, engine, 1);
+        let _morsel = exec::set_morsel_rows(1);
+        for threads in [2, 4] {
+            let par = rows_at(&db, &sql, engine, threads);
+            assert!(par.rows() == seq.rows(), "{engine:?} at {threads} threads");
+        }
+    }
+}
+
+/// `QueryOutcome` carries the effective thread budget, and the profile is
+/// stamped with the same number.
+#[test]
+fn outcome_reports_thread_budget() {
+    let db = Database::from_catalog(nra::tpch::paper_example::rst_catalog());
+    let q = nra::tpch::paper_example::QUERY_Q;
+
+    let out = db
+        .execute(q, &QueryOptions::new().threads(3).collect_profile(true))
+        .unwrap();
+    assert_eq!(out.threads, 3);
+    assert_eq!(out.profile.as_ref().unwrap().threads, 3);
+
+    // Without an explicit budget the ambient one (thread-local override,
+    // else NRA_THREADS, else 1) applies.
+    let guard = exec::set_threads(Some(2));
+    let out = db.execute(q, &QueryOptions::new()).unwrap();
+    assert_eq!(out.threads, 2);
+    drop(guard);
+
+    // The per-query override is scoped to the call: the ambient budget is
+    // restored afterwards.
+    let ambient = exec::threads();
+    let _ = db.execute(q, &QueryOptions::new().threads(7)).unwrap();
+    assert_eq!(exec::threads(), ambient);
+}
+
+/// Plan artifacts: `explain_only` renders without executing; the analyzed
+/// plan appears exactly when a profile is collected under the Original
+/// strategy.
+#[test]
+fn plan_artifacts_follow_options() {
+    let db = Database::from_catalog(nra::tpch::paper_example::rst_catalog());
+    let q = nra::tpch::paper_example::QUERY_Q;
+
+    let out = db
+        .execute(q, &QueryOptions::new().explain_only(true))
+        .unwrap();
+    assert!(out.plan.is_some());
+    assert!(out.rows.is_empty());
+    assert!(out.profile.is_none());
+
+    let analyzed = db
+        .execute(
+            q,
+            &QueryOptions::new()
+                .strategy(Strategy::Original)
+                .collect_profile(true),
+        )
+        .unwrap();
+    assert!(
+        analyzed.plan.is_some(),
+        "analyzed plan for Original + profile"
+    );
+    assert!(analyzed.profile.is_some());
+
+    let plain = db
+        .execute(q, &QueryOptions::new().strategy(Strategy::Original))
+        .unwrap();
+    assert!(plain.plan.is_none(), "no plan without a profile");
+    assert!(!plain.rows.is_empty());
+}
+
+/// `NraError` chains sources down to the underlying layer error.
+#[test]
+fn errors_chain_to_their_sources() {
+    let db = Database::new();
+    let err = db
+        .execute("select * from nowhere", &QueryOptions::new())
+        .unwrap_err();
+    let mut depth = 0;
+    let mut cur: Option<&dyn std::error::Error> = Some(&err);
+    while let Some(e) = cur {
+        depth += 1;
+        cur = e.source();
+    }
+    assert!(depth >= 2, "expected a chained source, got depth {depth}");
+    assert!(err.to_string().contains("nowhere"));
+}

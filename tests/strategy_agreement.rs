@@ -2,10 +2,21 @@
 //! and randomly shaped nested queries; every execution strategy must match
 //! the tuple-iteration oracle. Formerly proptest; now seeded-deterministic
 //! so the suite runs with no external crates.
+//!
+//! Doubles as the parallel-agreement suite: every strategy also runs at
+//! thread budgets 2 and 4 (with the morsel floor lowered to 1 row so the
+//! tiny inputs actually partition) and must return the *identical*
+//! relation — same tuples, same order — as its sequential run. The
+//! corpora deliberately include NULL join keys (so σ̄-padded tuples and
+//! NULL-key nest groups cross partition boundaries) and empty inputs.
 
-use nra::{Database, Engine, Strategy as NraStrategy};
+use nra::{Database, Engine, QueryOptions, Strategy as NraStrategy};
 use nra_storage::rng::Pcg32;
-use nra_storage::{Column, ColumnType, Value};
+use nra_storage::{Column, ColumnType, Relation, Value};
+
+/// Thread budgets every strategy is exercised at (1 = the reference
+/// sequential run).
+const PARALLEL_BUDGETS: [usize; 2] = [2, 4];
 
 /// A cell: small domain so joins actually match; `None` is NULL.
 fn cell(rng: &mut Pcg32) -> Option<i64> {
@@ -138,13 +149,21 @@ fn corr_sql(corr: Corr, inner_col: &str, outer_col: &str) -> Option<String> {
     }
 }
 
-/// Compare every applicable strategy against the oracle on one query.
+fn run_at(db: &Database, sql: &str, engine: Engine, threads: usize) -> Relation {
+    db.execute(sql, &QueryOptions::new().engine(engine).threads(threads))
+        .unwrap()
+        .rows
+}
+
+/// Compare every applicable strategy against the oracle on one query,
+/// then re-run each strategy under every parallel budget and demand the
+/// byte-identical relation.
 fn check_all(db: &Database, sql: &str) {
     let bound = match db.prepare(sql) {
         Ok(b) => b,
         Err(e) => panic!("query failed to bind: {sql}: {e}"),
     };
-    let oracle = db.run(&bound, Engine::Reference).unwrap();
+    let oracle = run_at(db, sql, Engine::Reference, 1);
 
     let mut engines: Vec<(&str, Engine)> = vec![
         ("baseline", Engine::Baseline),
@@ -176,11 +195,22 @@ fn check_all(db: &Database, sql: &str) {
     }
 
     for (name, engine) in engines {
-        let got = db.run(&bound, engine).unwrap();
+        let got = run_at(db, sql, engine, 1);
         assert!(
             got.multiset_eq(&oracle),
             "{name} disagrees with oracle on {sql}\ngot:\n{got}\noracle:\n{oracle}"
         );
+        // Parallel runs must be indistinguishable from the sequential
+        // one: same tuples in the same order, not just multiset-equal.
+        let _morsel = nra::engine::exec::set_morsel_rows(1);
+        for threads in PARALLEL_BUDGETS {
+            let par = run_at(db, sql, engine, threads);
+            assert!(
+                par.rows() == got.rows(),
+                "{name} at {threads} threads differs from its sequential run on {sql}\n\
+                 parallel:\n{par}\nsequential:\n{got}"
+            );
+        }
     }
 }
 
@@ -270,5 +300,53 @@ fn tree_queries_agree() {
             lk2.render("t0.a", "t2.f", "t2", &b2)
         );
         check_all(&db, &sql);
+    }
+}
+
+/// The paper's Query Q over the Section 2 example catalog: every strategy
+/// × every thread budget returns the identical relation.
+#[test]
+fn paper_query_q_parallel_agreement() {
+    let db = Database::from_catalog(nra::tpch::paper_example::rst_catalog());
+    check_all(&db, nra::tpch::paper_example::QUERY_Q);
+}
+
+/// Empty inputs partition to zero morsels everywhere: empty outer, empty
+/// inner, and both — with positive and negative links.
+#[test]
+fn empty_relation_parallel_agreement() {
+    type Rows = [(Option<i64>, Option<i64>)];
+    let cases: [(&Rows, &Rows); 3] = [
+        (&[], &[(Some(1), Some(2)), (None, Some(0))]),
+        (&[(Some(1), Some(2)), (Some(0), None)], &[]),
+        (&[], &[]),
+    ];
+    for (t0, t1) in cases {
+        let db = db_from(t0, t1, &[]);
+        for sql in [
+            "select a, b from t0 where b > all (select d from t1 where t1.c = t0.a)",
+            "select a, b from t0 where b not in (select d from t1 where t1.c = t0.a)",
+            "select a, b from t0 where exists (select * from t1 where t1.c = t0.a)",
+        ] {
+            check_all(&db, sql);
+        }
+    }
+}
+
+/// All-NULL join keys: every tuple lands in the NULL nest group and the
+/// outer join pads everything; partitioning must not change that.
+#[test]
+fn null_key_parallel_agreement() {
+    let t0: Vec<(Option<i64>, Option<i64>)> = (0..8).map(|i| (None, Some(i % 3))).collect();
+    let t1: Vec<(Option<i64>, Option<i64>)> = (0..6)
+        .map(|i| (None, if i % 2 == 0 { None } else { Some(i) }))
+        .collect();
+    let db = db_from(&t0, &t1, &[]);
+    for sql in [
+        "select a, b from t0 where b > all (select d from t1 where t1.c = t0.a)",
+        "select a, b from t0 where b in (select d from t1 where t1.c = t0.a)",
+        "select a, b from t0 where not exists (select * from t1 where t1.c = t0.a)",
+    ] {
+        check_all(&db, sql);
     }
 }

@@ -2,7 +2,7 @@
 //! on Query 1, Query 2a/2b and all Query 3 variants, and the baseline
 //! planner must pick the plan families the paper describes for System A.
 
-use nra::{Database, Engine, Strategy};
+use nra::{Database, Engine, QueryOptions, Strategy};
 use nra_engine::baseline::{self, BaselineChoice};
 use nra_tpch::{generate, q1_sql, q2_sql, q3_sql, ExistsKind, Q3Corr, Quant, TpchConfig};
 
@@ -10,8 +10,14 @@ fn db(scale: f64) -> Database {
     Database::from_catalog(generate(&TpchConfig::scaled(scale)))
 }
 
+fn run(db: &Database, sql: &str, engine: Engine) -> nra::storage::Relation {
+    db.execute(sql, &QueryOptions::new().engine(engine))
+        .unwrap()
+        .rows
+}
+
 fn check_all_engines(db: &Database, sql: &str) {
-    let oracle = db.query_with(sql, Engine::Reference).unwrap();
+    let oracle = run(db, sql, Engine::Reference);
     for (name, engine) in [
         ("baseline", Engine::Baseline),
         ("nr-original", Engine::NestedRelational(Strategy::Original)),
@@ -21,7 +27,7 @@ fn check_all_engines(db: &Database, sql: &str) {
         ),
         ("nr-auto", Engine::NestedRelational(Strategy::Auto)),
     ] {
-        let got = db.query_with(sql, engine).unwrap();
+        let got = run(db, sql, engine);
         assert!(
             got.multiset_eq(&oracle),
             "{name} disagrees with oracle ({} vs {} rows) on\n{sql}",
@@ -139,11 +145,9 @@ fn bottom_up_strategies_on_q2() {
     let db = db(0.008);
     for quant in [Quant::Any, Quant::All] {
         let sql = q2_sql(db.catalog(), quant, 150, 200);
-        let oracle = db.query_with(&sql, Engine::Reference).unwrap();
+        let oracle = run(&db, &sql, Engine::Reference);
         for strat in [Strategy::BottomUp, Strategy::BottomUpPushdown] {
-            let got = db
-                .query_with(&sql, Engine::NestedRelational(strat))
-                .unwrap();
+            let got = run(&db, &sql, Engine::NestedRelational(strat));
             assert!(got.multiset_eq(&oracle), "{strat:?} on {quant:?}");
         }
     }
@@ -157,9 +161,11 @@ fn positive_rewrite_on_positive_q3c_like_query() {
          (select * from partsupp where ps_partkey = p_partkey and exists \
             (select * from lineitem where p_partkey = l_partkey \
              and ps_suppkey = l_suppkey and l_quantity = 1))";
-    let oracle = db.query_with(sql, Engine::Reference).unwrap();
-    let got = db
-        .query_with(sql, Engine::NestedRelational(Strategy::PositiveRewrite))
-        .unwrap();
+    let oracle = run(&db, sql, Engine::Reference);
+    let got = run(
+        &db,
+        sql,
+        Engine::NestedRelational(Strategy::PositiveRewrite),
+    );
     assert!(got.multiset_eq(&oracle));
 }

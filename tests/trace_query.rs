@@ -5,17 +5,25 @@
 use nra::obs::trace::{self, TraceEvent};
 use nra::obs::{self, json::Json};
 use nra::tpch::paper_example::{rst_catalog, QUERY_Q};
-use nra::Database;
+use nra::{Database, QueryOptions};
 
 fn db() -> Database {
     Database::from_catalog(rst_catalog())
+}
+
+/// Run traced through the unified API, returning (rows, trace).
+fn traced(db: &Database, sql: &str) -> (nra::storage::Relation, nra::obs::trace::Trace) {
+    let out = db
+        .execute(sql, &QueryOptions::new().collect_trace(true))
+        .unwrap();
+    (out.rows, out.trace.unwrap())
 }
 
 /// The deterministic skeleton of the trace: the event sequence and every
 /// count are fixed by the catalog; only timings vary run to run.
 #[test]
 fn paper_query_trace_matches_golden_tree() {
-    let (rel, trace) = db().trace_query(QUERY_Q).unwrap();
+    let (rel, trace) = traced(&db(), QUERY_Q);
     assert_eq!(rel.len(), 2);
     let tree = trace.render_tree();
     for expected in [
@@ -59,7 +67,7 @@ fn paper_query_trace_matches_golden_tree() {
 /// non-empty reason (the root also names the rejected alternatives).
 #[test]
 fn trace_events_carry_phases_and_per_block_decisions() {
-    let (_, trace) = db().trace_query(QUERY_Q).unwrap();
+    let (_, trace) = traced(&db(), QUERY_Q);
     for phase in ["parse", "bind", "plan", "execute"] {
         let wall = trace.phase_wall_ns(phase);
         assert!(wall.is_some_and(|ns| ns > 0), "phase {phase}: {wall:?}");
@@ -111,7 +119,7 @@ fn trace_events_carry_phases_and_per_block_decisions() {
 fn trace_jsonl_round_trips_through_the_json_parser() {
     let sql = "select r.b, r.c, r.d from r where r.b not in \
                (select s.e from s where s.g = r.d and s.i <> 'x \"quoted\" \\ υ')";
-    let (_, trace) = db().trace_query(sql).unwrap();
+    let (_, trace) = traced(&db(), sql);
     let jsonl = trace.to_jsonl();
     let mut kinds = Vec::new();
     for line in jsonl.lines() {
@@ -144,26 +152,28 @@ fn trace_jsonl_round_trips_through_the_json_parser() {
 fn disabled_path_emits_nothing_and_trace_query_cleans_up() {
     let database = db();
     assert!(!trace::enabled());
-    database.query(QUERY_Q).unwrap();
+    database.execute(QUERY_Q, &QueryOptions::new()).unwrap();
     assert!(!trace::enabled(), "plain query must not install a tracer");
     // Nothing leaked into the collector either.
     assert!(obs::snapshot().is_empty());
 
-    let (_, trace_out) = database.trace_query(QUERY_Q).unwrap();
+    let (_, trace_out) = traced(&database, QUERY_Q);
     assert!(!trace_out.is_empty());
     assert_eq!(trace_out.dropped, 0);
-    assert!(!trace::enabled(), "trace_query restores disabled state");
+    assert!(!trace::enabled(), "a traced run restores disabled state");
     assert!(
         !obs::is_enabled(),
-        "trace_query does not enable the collector"
+        "trace collection does not enable the profiler"
     );
 
     // Error path: parse failure still uninstalls the tracer.
-    assert!(database.trace_query("not sql at all").is_err());
+    assert!(database
+        .execute("not sql at all", &QueryOptions::new().collect_trace(true))
+        .is_err());
     assert!(!trace::enabled());
 
     // A subsequent traced run is unaffected by the failed one.
-    let (rel, t2) = database.trace_query(QUERY_Q).unwrap();
+    let (rel, t2) = traced(&database, QUERY_Q);
     assert_eq!(rel.len(), 2);
     assert!(t2.phase_wall_ns("execute").is_some());
 }
@@ -172,7 +182,12 @@ fn disabled_path_emits_nothing_and_trace_query_cleans_up() {
 /// `Parsed` summary and no downstream phases.
 #[test]
 fn failed_parse_traces_no_parsed_event() {
-    let err = db().trace_query("select from where").unwrap_err();
+    let err = db()
+        .execute(
+            "select from where",
+            &QueryOptions::new().collect_trace(true),
+        )
+        .unwrap_err();
     let _ = err; // the trace is discarded on error; re-run capturing manually
     let (ring, handle) = trace::RingSink::with_capacity(64);
     trace::start(vec![Box::new(ring)]);
