@@ -39,19 +39,19 @@ fn main() {
         let rel = flat_relation(groups, per);
         let rows = rel.len();
         g.bench("nest-hash", rows, || {
-            harness::black_box(nest_hash_idx(&rel, &[1], &[2, 3], "s"));
+            harness::black_box(nest_hash_idx(&rel, &[1], &[2, 3], "s").unwrap());
         });
         g.bench("nest-sort", rows, || {
-            harness::black_box(nest_sort_idx(&rel, &[1], &[2, 3], "s"));
+            harness::black_box(nest_sort_idx(&rel, &[1], &[2, 3], "s").unwrap());
         });
         let sel = LinkSelection::quant("g.a", CmpOp::Gt, SetQuant::All, "m.v", Some("m.rid"));
         g.bench("two-pass-select", rows, || {
-            let nested = nest_sort_idx(&rel, &[0, 1], &[2, 3], "s");
+            let nested = nest_sort_idx(&rel, &[0, 1], &[2, 3], "s").unwrap();
             harness::black_box(sel.select(&nested, "s").unwrap().atoms_as_relation());
         });
         let link = FusedLink::from_selection(&sel, rel.schema(), &[0, 1]).unwrap();
         g.bench("fused-select", rows, || {
-            harness::black_box(fused_nest_select(&rel, &[0, 1], link.clone(), false, &[]));
+            harness::black_box(fused_nest_select(&rel, &[0, 1], link.clone(), false, &[]).unwrap());
         });
         // Hash joins: self outer join on the group key.
         g.bench("left-outer-join", rows, || {

@@ -220,33 +220,38 @@ pub fn edge_selection(
     edge: &SubqueryEdge,
     outer_col: Option<&str>,
     inner_col: Option<&str>,
-) -> LinkSelection {
+) -> Result<LinkSelection, EngineError> {
+    fn need<'a>(col: Option<&'a str>, what: &str) -> Result<&'a str, EngineError> {
+        col.ok_or_else(|| {
+            EngineError::unsupported(format!("{what} link without a linking attribute"))
+        })
+    }
     let marker = rid_column(edge.block.id);
-    match edge.link {
+    Ok(match edge.link {
         LinkOp::Exists => LinkSelection::not_empty(Some(&marker)),
         LinkOp::NotExists => LinkSelection::empty(Some(&marker)),
         LinkOp::Some(op) => LinkSelection::quant(
-            outer_col.expect("SOME link has outer attribute"),
+            need(outer_col, "SOME")?,
             op,
             SetQuant::Some,
-            inner_col.expect("SOME link has inner attribute"),
+            need(inner_col, "SOME")?,
             Some(&marker),
         ),
         LinkOp::All(op) => LinkSelection::quant(
-            outer_col.expect("ALL link has outer attribute"),
+            need(outer_col, "ALL")?,
             op,
             SetQuant::All,
-            inner_col.expect("ALL link has inner attribute"),
+            need(inner_col, "ALL")?,
             Some(&marker),
         ),
         LinkOp::Agg { op, func } => LinkSelection::agg(
-            outer_col.expect("aggregate link has outer attribute"),
+            need(outer_col, "aggregate")?,
             op,
             func,
             inner_col, // None for COUNT(*)
             Some(&marker),
         ),
-    }
+    })
 }
 
 /// The recursive body of Algorithm 1.
@@ -285,12 +290,12 @@ fn compute(ctx: &Ctx<'_>, block: &QueryBlock, mut rel: Relation) -> Result<Relat
             .filter(|i| !n2.contains(i))
             .collect();
 
-        let selection = edge_selection(edge, outer_col.as_deref(), inner_col.as_deref());
+        let selection = edge_selection(edge, outer_col.as_deref(), inner_col.as_deref())?;
         let use_pseudo = *ctx.modes.get(&edge.block.id).unwrap_or(&false);
 
         rel = match ctx.style {
             NestStyle::TwoPass => {
-                let nested = nest_sort_idx(&rel, &n1, &n2, "sub");
+                let nested = nest_sort_idx(&rel, &n1, &n2, "sub")?;
                 let selected = if use_pseudo {
                     let pad: Vec<&str> = {
                         let own = owned_columns(&nested.schema.atom_schema(), block);
@@ -307,7 +312,7 @@ fn compute(ctx: &Ctx<'_>, block: &QueryBlock, mut rel: Relation) -> Result<Relat
             NestStyle::Fused => {
                 let pad = owned_columns(&rel.schema().project(&n1), block);
                 let link = FusedLink::from_selection(&selection, rel.schema(), &n1)?;
-                fused_nest_select(&rel, &n1, link, use_pseudo, &pad)
+                fused_nest_select(&rel, &n1, link, use_pseudo, &pad)?
             }
         };
     }

@@ -29,8 +29,8 @@
 //! absorbed into the operator span in the same order — output and profile
 //! counters match the sequential scan exactly.
 
-use nra_engine::exec;
 use nra_engine::EngineError;
+use nra_engine::{exec, faultinject, governor};
 use nra_storage::{aggregate, AggFunc, CmpOp, Truth, Value};
 
 use crate::nested::NestedRelation;
@@ -242,33 +242,35 @@ impl LinkSelection {
         let mut sp = nra_obs::span(|| "link".to_string());
         sp.rows_in(rel.len());
         let r = self.resolve(rel, sub)?;
+        faultinject::hit(faultinject::LINKING_SCAN)?;
         let parts = exec::partitions(rel.len());
         let tuples: Vec<crate::nested::NestedTuple> = if parts <= 1 {
-            rel.tuples
-                .iter()
-                .filter(|t| {
-                    let truth = self.eval_tuple(&r, t);
-                    sp.outcome(truth);
-                    truth == Truth::True
-                })
-                .cloned()
-                .collect()
+            let mut kept = Vec::new();
+            for (i, t) in rel.tuples.iter().enumerate() {
+                governor::tick(i, "linking-scan")?;
+                let truth = self.eval_tuple(&r, t);
+                sp.outcome(truth);
+                if truth == Truth::True {
+                    kept.push(t.clone());
+                }
+            }
+            kept
         } else {
             sp.partitions(parts);
             let ranges = exec::chunks(rel.len(), parts);
             let per = exec::run_partitioned(parts, |p| {
                 let mut stats = nra_obs::OpStats::default();
-                let kept: Vec<crate::nested::NestedTuple> = rel.tuples[ranges[p].clone()]
-                    .iter()
-                    .filter(|t| {
-                        let truth = self.eval_tuple(&r, t);
-                        stats.record_outcome(truth);
-                        truth == Truth::True
-                    })
-                    .cloned()
-                    .collect();
-                (kept, stats)
-            });
+                let mut kept: Vec<crate::nested::NestedTuple> = Vec::new();
+                for (i, t) in rel.tuples[ranges[p].clone()].iter().enumerate() {
+                    governor::tick(i, "linking-scan")?;
+                    let truth = self.eval_tuple(&r, t);
+                    stats.record_outcome(truth);
+                    if truth == Truth::True {
+                        kept.push(t.clone());
+                    }
+                }
+                Ok((kept, stats))
+            })?;
             let mut tuples = Vec::new();
             for (kept, stats) in per {
                 sp.absorb_stats(&stats);
@@ -276,6 +278,10 @@ impl LinkSelection {
             }
             tuples
         };
+        governor::charge(
+            "link",
+            governor::tuple_bytes(tuples.len(), rel.schema.atoms.len()),
+        )?;
         sp.rows_out(tuples.len());
         Ok(NestedRelation {
             schema: rel.schema.clone(),
@@ -318,18 +324,17 @@ impl LinkSelection {
                 padded
             }
         };
+        faultinject::hit(faultinject::LINKING_SCAN)?;
         let parts = exec::partitions(rel.len());
         let tuples: Vec<crate::nested::NestedTuple> = if parts <= 1 {
             let mut stats = nra_obs::OpStats::default();
-            let tuples = rel
-                .tuples
-                .iter()
-                .map(|t| {
-                    let truth = self.eval_tuple(&r, t);
-                    stats.record_outcome(truth);
-                    pad_tuple(t, truth, &mut stats)
-                })
-                .collect();
+            let mut tuples = Vec::with_capacity(rel.len());
+            for (i, t) in rel.tuples.iter().enumerate() {
+                governor::tick(i, "linking-scan")?;
+                let truth = self.eval_tuple(&r, t);
+                stats.record_outcome(truth);
+                tuples.push(pad_tuple(t, truth, &mut stats));
+            }
             sp.absorb_stats(&stats);
             tuples
         } else {
@@ -337,16 +342,16 @@ impl LinkSelection {
             let ranges = exec::chunks(rel.len(), parts);
             let per = exec::run_partitioned(parts, |p| {
                 let mut stats = nra_obs::OpStats::default();
-                let padded: Vec<crate::nested::NestedTuple> = rel.tuples[ranges[p].clone()]
-                    .iter()
-                    .map(|t| {
-                        let truth = self.eval_tuple(&r, t);
-                        stats.record_outcome(truth);
-                        pad_tuple(t, truth, &mut stats)
-                    })
-                    .collect();
-                (padded, stats)
-            });
+                let mut padded: Vec<crate::nested::NestedTuple> =
+                    Vec::with_capacity(ranges[p].len());
+                for (i, t) in rel.tuples[ranges[p].clone()].iter().enumerate() {
+                    governor::tick(i, "linking-scan")?;
+                    let truth = self.eval_tuple(&r, t);
+                    stats.record_outcome(truth);
+                    padded.push(pad_tuple(t, truth, &mut stats));
+                }
+                Ok((padded, stats))
+            })?;
             let mut tuples = Vec::new();
             for (padded, stats) in per {
                 sp.absorb_stats(&stats);
@@ -354,6 +359,10 @@ impl LinkSelection {
             }
             tuples
         };
+        governor::charge(
+            "link",
+            governor::tuple_bytes(tuples.len(), rel.schema.atoms.len()),
+        )?;
         sp.rows_out(tuples.len());
         Ok(NestedRelation {
             schema: rel.schema.clone(),
@@ -367,31 +376,33 @@ impl LinkSelection {
         let mut sp = nra_obs::span(|| "link".to_string());
         sp.rows_in(rel.len());
         let r = self.resolve(rel, sub)?;
+        faultinject::hit(faultinject::LINKING_SCAN)?;
         let parts = exec::partitions(rel.len());
         let out: Vec<Truth> = if parts <= 1 {
-            rel.tuples
-                .iter()
-                .map(|t| {
-                    let truth = self.eval_tuple(&r, t);
-                    sp.outcome(truth);
-                    truth
-                })
-                .collect()
+            let mut out = Vec::with_capacity(rel.len());
+            for (i, t) in rel.tuples.iter().enumerate() {
+                governor::tick(i, "linking-scan")?;
+                let truth = self.eval_tuple(&r, t);
+                sp.outcome(truth);
+                out.push(truth);
+            }
+            out
         } else {
             sp.partitions(parts);
             let ranges = exec::chunks(rel.len(), parts);
             let per = exec::run_partitioned(parts, |p| {
                 let mut stats = nra_obs::OpStats::default();
-                let truths: Vec<Truth> = rel.tuples[ranges[p].clone()]
-                    .iter()
-                    .map(|t| {
+                let mut truths: Vec<Truth> = Vec::with_capacity(ranges[p].len());
+                for (i, t) in rel.tuples[ranges[p].clone()].iter().enumerate() {
+                    governor::tick(i, "linking-scan")?;
+                    truths.push({
                         let truth = self.eval_tuple(&r, t);
                         stats.record_outcome(truth);
                         truth
-                    })
-                    .collect();
-                (truths, stats)
-            });
+                    });
+                }
+                Ok((truths, stats))
+            })?;
             let mut out = Vec::with_capacity(rel.len());
             for (truths, stats) in per {
                 sp.absorb_stats(&stats);
@@ -399,6 +410,7 @@ impl LinkSelection {
             }
             out
         };
+        governor::charge("link", 8 * out.len() as u64)?;
         sp.rows_out(out.len());
         Ok(out)
     }

@@ -24,8 +24,8 @@
 
 use std::collections::HashMap;
 
-use nra_engine::exec;
 use nra_engine::EngineError;
+use nra_engine::{exec, faultinject, governor};
 use nra_storage::{GroupKey, Relation, Schema};
 
 use crate::nested::{NestedRelation, NestedSchema, NestedTuple};
@@ -44,9 +44,21 @@ fn resolve_all(schema: &Schema, names: &[&str]) -> Result<Vec<usize>, EngineErro
 
 /// Nest by column indices, hash-based grouping. Group order follows first
 /// occurrence; member order follows input order.
-pub fn nest_hash_idx(rel: &Relation, n1: &[usize], n2: &[usize], sub: &str) -> NestedRelation {
+pub fn nest_hash_idx(
+    rel: &Relation,
+    n1: &[usize],
+    n2: &[usize],
+    sub: &str,
+) -> Result<NestedRelation, EngineError> {
     let mut sp = nra_obs::span(|| "nest[hash]".to_string());
     sp.rows_in(rel.len());
+    // Group buffers hold one member per input row plus the key atoms;
+    // charge them up front so a runaway nest trips the budget before the
+    // buffers are built.
+    governor::charge(
+        "nest",
+        governor::tuple_bytes(rel.len(), n1.len() + n2.len()),
+    )?;
     let schema = NestedSchema {
         atoms: n1.iter().map(|&i| rel.schema().column(i).clone()).collect(),
         subs: vec![(
@@ -61,7 +73,8 @@ pub fn nest_hash_idx(rel: &Relation, n1: &[usize], n2: &[usize], sub: &str) -> N
     let tuples: Vec<NestedTuple> = if parts <= 1 {
         let mut order: Vec<GroupKey> = Vec::new();
         let mut groups: HashMap<GroupKey, Vec<NestedTuple>> = HashMap::new();
-        for row in rel.rows() {
+        for (rid, row) in rel.rows().iter().enumerate() {
+            governor::tick(rid, "nest-scan")?;
             let key = GroupKey::from_tuple(row, n1);
             let member = NestedTuple::flat(n2.iter().map(|&i| row[i].clone()).collect());
             match groups.get_mut(&key) {
@@ -72,6 +85,7 @@ pub fn nest_hash_idx(rel: &Relation, n1: &[usize], n2: &[usize], sub: &str) -> N
                 }
             }
         }
+        faultinject::hit(faultinject::NEST_FLUSH)?;
         order
             .into_iter()
             .map(|key| {
@@ -90,14 +104,15 @@ pub fn nest_hash_idx(rel: &Relation, n1: &[usize], n2: &[usize], sub: &str) -> N
         // global row order.
         let ranges = exec::chunks(rel.len(), parts);
         let assign: Vec<u32> = exec::run_partitioned(parts, |p| {
-            rel.rows()[ranges[p].clone()]
+            Ok(rel.rows()[ranges[p].clone()]
                 .iter()
                 .map(|row| (exec::key_hash(&GroupKey::from_tuple(row, n1)) % parts as u64) as u32)
-                .collect::<Vec<_>>()
-        })
+                .collect::<Vec<_>>())
+        })?
         .into_iter()
         .flatten()
         .collect();
+        faultinject::hit(faultinject::NEST_FLUSH)?;
         // Group per partition, remembering each group's first global row
         // id; sorting by it restores the sequential first-occurrence
         // emission order exactly.
@@ -105,6 +120,7 @@ pub fn nest_hash_idx(rel: &Relation, n1: &[usize], n2: &[usize], sub: &str) -> N
             let mut order: Vec<(usize, GroupKey)> = Vec::new();
             let mut groups: HashMap<GroupKey, Vec<NestedTuple>> = HashMap::new();
             for (rid, row) in rel.rows().iter().enumerate() {
+                governor::tick(rid, "nest-scan")?;
                 if assign[rid] != b as u32 {
                     continue;
                 }
@@ -118,7 +134,7 @@ pub fn nest_hash_idx(rel: &Relation, n1: &[usize], n2: &[usize], sub: &str) -> N
                     }
                 }
             }
-            order
+            Ok(order
                 .into_iter()
                 .map(|(rid, key)| {
                     let set = groups.remove(&key).unwrap();
@@ -130,8 +146,8 @@ pub fn nest_hash_idx(rel: &Relation, n1: &[usize], n2: &[usize], sub: &str) -> N
                         },
                     )
                 })
-                .collect::<Vec<_>>()
-        });
+                .collect::<Vec<_>>())
+        })?;
         let mut all: Vec<(usize, NestedTuple)> = per_part.into_iter().flatten().collect();
         all.sort_by_key(|&(rid, _)| rid);
         all.into_iter()
@@ -142,16 +158,27 @@ pub fn nest_hash_idx(rel: &Relation, n1: &[usize], n2: &[usize], sub: &str) -> N
             .collect()
     };
     sp.rows_out(tuples.len());
-    NestedRelation { schema, tuples }
+    Ok(NestedRelation { schema, tuples })
 }
 
 /// Nest by column indices, sort-based grouping (physically reorders a copy
 /// of the input). This is the implementation whose cost the paper's
 /// "original approach" measures: one pass to sort/group, then the linking
 /// selection in a second pass.
-pub fn nest_sort_idx(rel: &Relation, n1: &[usize], n2: &[usize], sub: &str) -> NestedRelation {
+pub fn nest_sort_idx(
+    rel: &Relation,
+    n1: &[usize],
+    n2: &[usize],
+    sub: &str,
+) -> Result<NestedRelation, EngineError> {
     let mut sp = nra_obs::span(|| "nest[sort]".to_string());
     sp.rows_in(rel.len());
+    // The sort path materializes a full copy of the input plus the group
+    // buffers; charge both before cloning.
+    governor::charge(
+        "nest",
+        governor::tuple_bytes(rel.len(), rel.schema().len() + n2.len()),
+    )?;
     let schema = NestedSchema {
         atoms: n1.iter().map(|&i| rel.schema().column(i).clone()).collect(),
         subs: vec![(
@@ -167,7 +194,7 @@ pub fn nest_sort_idx(rel: &Relation, n1: &[usize], n2: &[usize], sub: &str) -> N
     // back to it below the morsel floor).
     exec::sort_rows_by(sorted.rows_mut(), |a, b| {
         nra_storage::tuple::cmp_on(a, b, n1)
-    });
+    })?;
     let rows = sorted.rows();
     // Group boundaries: a cheap sequential scan (adjacent-row equality);
     // the expensive part — cloning values into nested tuples — is built
@@ -175,6 +202,7 @@ pub fn nest_sort_idx(rel: &Relation, n1: &[usize], n2: &[usize], sub: &str) -> N
     let mut bounds: Vec<(usize, usize)> = Vec::new();
     let mut lo = 0;
     while lo < rows.len() {
+        governor::tick(bounds.len(), "nest-scan")?;
         let mut hi = lo + 1;
         while hi < rows.len() && nra_storage::tuple::group_eq_on(&rows[lo], &rows[hi], n1) {
             hi += 1;
@@ -182,6 +210,7 @@ pub fn nest_sort_idx(rel: &Relation, n1: &[usize], n2: &[usize], sub: &str) -> N
         bounds.push((lo, hi));
         lo = hi;
     }
+    faultinject::hit(faultinject::NEST_FLUSH)?;
     for &(lo, hi) in &bounds {
         sp.group(hi - lo);
     }
@@ -202,17 +231,17 @@ pub fn nest_sort_idx(rel: &Relation, n1: &[usize], n2: &[usize], sub: &str) -> N
         sp.partitions(parts);
         let granges = exec::chunks(bounds.len(), parts);
         exec::run_partitioned(parts, |p| {
-            bounds[granges[p].clone()]
+            Ok(bounds[granges[p].clone()]
                 .iter()
                 .map(build_group)
-                .collect::<Vec<_>>()
-        })
+                .collect::<Vec<_>>())
+        })?
         .into_iter()
         .flatten()
         .collect()
     };
     sp.rows_out(tuples.len());
-    NestedRelation { schema, tuples }
+    Ok(NestedRelation { schema, tuples })
 }
 
 /// Nest by column names (hash-based).
@@ -224,7 +253,7 @@ pub fn nest(
 ) -> Result<NestedRelation, EngineError> {
     let n1 = resolve_all(rel.schema(), n1)?;
     let n2 = resolve_all(rel.schema(), n2)?;
-    Ok(nest_hash_idx(rel, &n1, &n2, sub))
+    nest_hash_idx(rel, &n1, &n2, sub)
 }
 
 /// Nest by column names (sort-based).
@@ -236,7 +265,7 @@ pub fn nest_sorted(
 ) -> Result<NestedRelation, EngineError> {
     let n1 = resolve_all(rel.schema(), n1)?;
     let n2 = resolve_all(rel.schema(), n2)?;
-    Ok(nest_sort_idx(rel, &n1, &n2, sub))
+    nest_sort_idx(rel, &n1, &n2, sub)
 }
 
 #[cfg(test)]
@@ -329,20 +358,20 @@ mod tests {
         let (seq_hash, seq_sort) = {
             let _t = exec::set_threads(Some(1));
             (
-                nest_hash_idx(&rel, &n1, &n2, "s"),
-                nest_sort_idx(&rel, &n1, &n2, "s"),
+                nest_hash_idx(&rel, &n1, &n2, "s").unwrap(),
+                nest_sort_idx(&rel, &n1, &n2, "s").unwrap(),
             )
         };
         for threads in [2, 4] {
             let _t = exec::set_threads(Some(threads));
             let _m = exec::set_morsel_rows(1);
             assert_eq!(
-                nest_hash_idx(&rel, &n1, &n2, "s"),
+                nest_hash_idx(&rel, &n1, &n2, "s").unwrap(),
                 seq_hash,
                 "hash @{threads}"
             );
             assert_eq!(
-                nest_sort_idx(&rel, &n1, &n2, "s"),
+                nest_sort_idx(&rel, &n1, &n2, "s").unwrap(),
                 seq_sort,
                 "sort @{threads}"
             );

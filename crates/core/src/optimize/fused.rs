@@ -8,8 +8,8 @@
 //! an order of magnitude below the two-pass original (§5.2 in-text
 //! numbers).
 
-use nra_engine::exec;
 use nra_engine::EngineError;
+use nra_engine::{exec, faultinject, governor};
 use nra_storage::{aggregate, tuple::group_eq_on, AggFunc, CmpOp, Relation, Schema, Truth, Value};
 
 use crate::linking::{LinkCond, LinkSelection, SetQuant};
@@ -178,11 +178,15 @@ pub fn fused_nest_select(
     link: FusedLink,
     use_pseudo: bool,
     pad_out: &[usize],
-) -> Relation {
+) -> Result<Relation, EngineError> {
     let mut sorted = rel.clone();
     {
         let mut sp = nra_obs::span(|| "nest[sort]".to_string());
         sp.rows_in(rel.len());
+        governor::charge(
+            "nest[sort]",
+            governor::tuple_bytes(rel.len(), rel.schema().len()),
+        )?;
         let parts = exec::partitions(rel.len());
         if parts > 1 {
             sp.partitions(parts);
@@ -190,7 +194,7 @@ pub fn fused_nest_select(
         // Parallel stable sort — byte-identical to `sort_by_columns`.
         exec::sort_rows_by(sorted.rows_mut(), |a, b| {
             nra_storage::tuple::cmp_on(a, b, n1)
-        });
+        })?;
     }
     fused_nest_select_presorted(&sorted, n1, link, use_pseudo, pad_out)
 }
@@ -204,9 +208,10 @@ pub fn fused_nest_select_presorted(
     link: FusedLink,
     use_pseudo: bool,
     pad_out: &[usize],
-) -> Relation {
+) -> Result<Relation, EngineError> {
     let mut sp = nra_obs::span(|| "link".to_string());
     sp.rows_in(rel.len());
+    faultinject::hit(faultinject::NEST_FLUSH)?;
     let mut out = Relation::new(rel.schema().project(n1));
     let rows = rel.rows();
     // Group boundaries first (cheap adjacent-row scan); the per-group
@@ -214,6 +219,7 @@ pub fn fused_nest_select_presorted(
     let mut bounds: Vec<(usize, usize)> = Vec::new();
     let mut lo = 0;
     while lo < rows.len() {
+        governor::tick(bounds.len(), "nest-scan")?;
         let mut hi = lo + 1;
         while hi < rows.len() && group_eq_on(&rows[lo], &rows[hi], n1) {
             hi += 1;
@@ -221,6 +227,7 @@ pub fn fused_nest_select_presorted(
         bounds.push((lo, hi));
         lo = hi;
     }
+    governor::charge("link", governor::tuple_bytes(bounds.len(), n1.len()))?;
     for &(lo, hi) in &bounds {
         sp.group(hi - lo);
     }
@@ -244,7 +251,8 @@ pub fn fused_nest_select_presorted(
     if parts <= 1 {
         let mut stats = nra_obs::OpStats::default();
         let mut out_rows = Vec::new();
-        for b in &bounds {
+        for (i, b) in bounds.iter().enumerate() {
+            governor::tick(i, "linking-scan")?;
             emit_group(b, &mut stats, &mut out_rows);
         }
         sp.absorb_stats(&stats);
@@ -255,18 +263,19 @@ pub fn fused_nest_select_presorted(
         let per = exec::run_partitioned(parts, |p| {
             let mut stats = nra_obs::OpStats::default();
             let mut out_rows = Vec::new();
-            for b in &bounds[granges[p].clone()] {
+            for (i, b) in bounds[granges[p].clone()].iter().enumerate() {
+                governor::tick(i, "linking-scan")?;
                 emit_group(b, &mut stats, &mut out_rows);
             }
-            (out_rows, stats)
-        });
+            Ok((out_rows, stats))
+        })?;
         for (out_rows, stats) in per {
             sp.absorb_stats(&stats);
             out.rows_mut().extend(out_rows);
         }
     }
     sp.rows_out(out.len());
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -310,7 +319,7 @@ mod tests {
         .atoms_as_relation();
         // Fused.
         let link = FusedLink::from_selection(sel, rel.schema(), &n1).unwrap();
-        let fused = fused_nest_select(&rel, &n1, link, use_pseudo, &[0]);
+        let fused = fused_nest_select(&rel, &n1, link, use_pseudo, &[0]).unwrap();
         assert!(
             fused.multiset_eq(&two_pass),
             "fused != two-pass for {sel:?} (pseudo={use_pseudo})\nfused:\n{fused}\ntwo-pass:\n{two_pass}"
@@ -352,7 +361,7 @@ mod tests {
         let rel = sample();
         let sel = selection(CmpOp::Gt, SetQuant::All);
         let link = FusedLink::from_selection(&sel, rel.schema(), &[0]).unwrap();
-        let out = fused_nest_select(&rel, &[0], link, true, &[0]);
+        let out = fused_nest_select(&rel, &[0], link, true, &[0]).unwrap();
         assert_eq!(out.len(), 3, "pseudo keeps every group");
         // a=1 fails (1 > 10 false) -> padded; a=2 empty -> passes.
         let nulls = out.rows().iter().filter(|r| r[0].is_null()).count();

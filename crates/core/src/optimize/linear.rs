@@ -10,7 +10,7 @@
 //! all their members.
 
 use nra_engine::planning::{project_select, split_join_conds};
-use nra_engine::{join, EngineError, JoinKind, JoinSpec};
+use nra_engine::{faultinject, governor, join, EngineError, JoinKind, JoinSpec};
 use nra_sql::{BoundQuery, LinkOp, QueryBlock, SubqueryEdge};
 use nra_storage::{Catalog, GroupKey, Relation, Truth, Value};
 
@@ -68,10 +68,10 @@ pub fn execute_bottom_up(query: &BoundQuery, catalog: &Catalog) -> Result<Relati
             let n1: Vec<usize> = (0..joined.schema().len())
                 .filter(|i| !n2.contains(i))
                 .collect();
-            let selection = edge_selection(edge, outer.as_deref(), inner.as_deref());
+            let selection = edge_selection(edge, outer.as_deref(), inner.as_deref())?;
             let link = FusedLink::from_selection(&selection, joined.schema(), &n1)?;
             // Plain σ at every level: see the module docs.
-            rel = fused_nest_select(&joined, &n1, link, false, &[]);
+            rel = fused_nest_select(&joined, &n1, link, false, &[])?;
         }
         reduced = Some(rel);
     }
@@ -194,12 +194,20 @@ pub fn execute_bottom_up_pushdown(
                     ))
                 }
             };
+            // The group map holds one member value per child row plus the
+            // key columns — charge it before the buffers are built.
+            faultinject::hit(faultinject::NEST_FLUSH)?;
+            governor::charge(
+                "nest[hash]",
+                governor::tuple_bytes(child.len(), 1 + child_keys.len()),
+            )?;
             let mut groups: std::collections::HashMap<GroupKey, Vec<Value>> =
                 std::collections::HashMap::new();
             {
                 let mut sp = nra_obs::span(|| "nest[hash]".to_string());
                 sp.rows_in(child.len());
-                for row in child.rows() {
+                for (i, row) in child.rows().iter().enumerate() {
+                    governor::tick(i, "nest-build")?;
                     let key = GroupKey::from_tuple(row, &child_keys);
                     if key.has_null() {
                         continue; // can never match an SQL equality
@@ -231,9 +239,12 @@ pub fn execute_bottom_up_pushdown(
             // Probe: each parent tuple meets its (possibly empty) set.
             let mut sp = nra_obs::span(|| "link".to_string());
             sp.rows_in(rel.len());
+            faultinject::hit(faultinject::LINKING_SCAN)?;
+            governor::charge("link", governor::tuple_bytes(rel.len(), rel.schema().len()))?;
             let mut out = Relation::new(rel.schema().clone());
             static EMPTY: Vec<Value> = Vec::new();
-            for row in rel.rows() {
+            for (i, row) in rel.rows().iter().enumerate() {
+                governor::tick(i, "linking-scan")?;
                 let key = GroupKey::from_tuple(row, &parent_keys);
                 let members = if key.has_null() {
                     &EMPTY

@@ -14,7 +14,7 @@
 //! the one-pass-per-level property but re-sorts between levels.
 
 use nra_engine::planning::{project_select, split_join_conds};
-use nra_engine::{join, EngineError, JoinKind, JoinSpec};
+use nra_engine::{faultinject, governor, join, EngineError, JoinKind, JoinSpec};
 use nra_sql::{BoundQuery, QueryBlock, SubqueryEdge};
 use nra_storage::{Catalog, Relation, Truth, Tuple, Value};
 
@@ -134,19 +134,23 @@ pub fn execute_linear_cascade(
         .map(|b| {
             rel.schema()
                 .try_resolve(&rid_column(b.id))
-                .expect("rid column present")
+                .ok_or_else(|| EngineError::Column(rid_column(b.id)))
         })
-        .collect();
+        .collect::<Result<_, _>>()?;
     {
         let mut sp = nra_obs::span(|| "nest[sort]".to_string());
         sp.rows_in(rel.len());
+        governor::charge(
+            "nest[sort]",
+            governor::tuple_bytes(rel.len(), rel.schema().len()),
+        )?;
         let parts = nra_engine::exec::partitions(rel.len());
         if parts > 1 {
             sp.partitions(parts);
         }
         nra_engine::exec::sort_rows_by(rel.rows_mut(), |a, b| {
             nra_storage::tuple::cmp_on(a, b, &rid_idx)
-        });
+        })?;
     }
 
     // Phase 3 (bottom-up, pipelined): one scan evaluating every level.
@@ -154,7 +158,7 @@ pub fn execute_linear_cascade(
     let mut levels = Vec::new();
     for (k, edge) in edges.iter().enumerate() {
         let (outer, inner) = &link_cols[k];
-        let selection = edge_selection(edge, outer.as_deref(), inner.as_deref());
+        let selection = edge_selection(edge, outer.as_deref(), inner.as_deref())?;
         let link = FusedLink::from_selection(&selection, rel.schema(), &[])?;
         levels.push(Level {
             rid: rid_idx[k],
@@ -165,11 +169,12 @@ pub fn execute_linear_cascade(
         });
     }
 
+    faultinject::hit(faultinject::LINKING_SCAN)?;
     let survivors = Cascade {
         rows: rel.rows(),
         levels: &levels,
     }
-    .reduce(0, rel.len(), 0);
+    .reduce(0, rel.len(), 0)?;
     let result = Relation::with_rows(rel.schema().clone(), survivors);
     project_select(&result, &query.root)
 }
@@ -188,19 +193,22 @@ impl Cascade<'_> {
     /// each subgroup's members come from the recursive reduction one level
     /// down, the level-`k` linking predicate is folded over them, and the
     /// subgroup head survives (σ), is padded (σ̄), or is dropped.
-    fn reduce(&self, lo: usize, hi: usize, k: usize) -> Vec<Tuple> {
+    fn reduce(&self, lo: usize, hi: usize, k: usize) -> Result<Vec<Tuple>, EngineError> {
         if k == self.levels.len() {
-            return self.rows[lo..hi].to_vec();
+            return Ok(self.rows[lo..hi].to_vec());
         }
         let lv = &self.levels[k];
         let mut out = Vec::new();
         let mut i = lo;
+        let mut groups = 0usize;
         while i < hi {
+            governor::tick(groups, "linking-scan")?;
+            groups += 1;
             let mut j = i + 1;
             while j < hi && self.rows[j][lv.rid].group_eq(&self.rows[i][lv.rid]) {
                 j += 1;
             }
-            let members = self.reduce(i, j, k + 1);
+            let members = self.reduce(i, j, k + 1)?;
             let truth = lv.link.eval(members.iter().map(|m| m.as_slice()));
             let is_padded = truth != Truth::True && lv.use_pseudo;
             nra_obs::record(&lv.obs_name, |s| {
@@ -225,7 +233,7 @@ impl Cascade<'_> {
             s.rows_in += (hi - lo) as u64;
             s.rows_out += out.len() as u64;
         });
-        out
+        Ok(out)
     }
 }
 

@@ -17,6 +17,7 @@
 use std::collections::HashMap;
 
 use nra_engine::EngineError;
+use nra_engine::{faultinject, governor};
 use nra_storage::{Column, GroupKey, Relation};
 
 use crate::nested::{NestedRelation, NestedSchema, NestedTuple};
@@ -51,9 +52,19 @@ pub fn outer_join_nested(
     let rk = resolve(right.schema(), right_key)?;
     let n2_idx = resolve(right.schema(), n2)?;
 
-    // υ pushed down: group the right side by its key.
+    // υ pushed down: group the right side by its key. The group map
+    // holds (up to) one member per right row, the output one nested
+    // tuple per left row — charge both against the query's budget
+    // before the buffers are built.
+    faultinject::hit(faultinject::NEST_FLUSH)?;
+    governor::charge(
+        "nest[pushdown]",
+        governor::tuple_bytes(right.len(), n2_idx.len())
+            + governor::tuple_bytes(left.len(), left.schema().len()),
+    )?;
     let mut groups: HashMap<GroupKey, Vec<NestedTuple>> = HashMap::new();
-    for row in right.rows() {
+    for (i, row) in right.rows().iter().enumerate() {
+        governor::tick(i, "nest-build")?;
         let key = GroupKey::from_tuple(row, &rk);
         if key.has_null() {
             continue; // a NULL key never satisfies the equality join
@@ -76,22 +87,20 @@ pub fn outer_join_nested(
             },
         )],
     };
-    let tuples = left
-        .rows()
-        .iter()
-        .map(|row| {
-            let key = GroupKey::from_tuple(row, &lk);
-            let set = if key.has_null() {
-                vec![]
-            } else {
-                groups.get(&key).cloned().unwrap_or_default()
-            };
-            NestedTuple {
-                atoms: row.clone(),
-                sets: vec![set],
-            }
-        })
-        .collect();
+    let mut tuples = Vec::with_capacity(left.len());
+    for (i, row) in left.rows().iter().enumerate() {
+        governor::tick(i, "nest-attach")?;
+        let key = GroupKey::from_tuple(row, &lk);
+        let set = if key.has_null() {
+            vec![]
+        } else {
+            groups.get(&key).cloned().unwrap_or_default()
+        };
+        tuples.push(NestedTuple {
+            atoms: row.clone(),
+            sets: vec![set],
+        });
+    }
     Ok(NestedRelation { schema, tuples })
 }
 

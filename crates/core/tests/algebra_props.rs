@@ -55,7 +55,7 @@ fn nest_unnest_roundtrip() {
     let mut rng = Pcg32::new(0x5eed_2001);
     for case in 0..128 {
         let rel = rel3(&mut rng);
-        let nested = nest_hash_idx(&rel, &[0, 1], &[2, 3], "sub");
+        let nested = nest_hash_idx(&rel, &[0, 1], &[2, 3], "sub").unwrap();
         let back = nested.flatten().expect("depth-1, single sub");
         assert!(back.multiset_eq(&rel), "case {case}");
     }
@@ -68,8 +68,8 @@ fn hash_and_sort_nest_agree() {
     let mut rng = Pcg32::new(0x5eed_2002);
     for case in 0..128 {
         let rel = rel3(&mut rng);
-        let h = nest_hash_idx(&rel, &[0, 1], &[2, 3], "sub");
-        let s = nest_sort_idx(&rel, &[0, 1], &[2, 3], "sub");
+        let h = nest_hash_idx(&rel, &[0, 1], &[2, 3], "sub").unwrap();
+        let s = nest_sort_idx(&rel, &[0, 1], &[2, 3], "sub").unwrap();
         assert_eq!(h.len(), s.len(), "case {case}");
         let hf = h.flatten().unwrap();
         let sf = s.flatten().unwrap();
@@ -88,7 +88,7 @@ fn fused_equals_two_pass() {
                 for case in 0..12 {
                     let rel = rel3(&mut rng);
                     let sel = LinkSelection::quant("g.a", op, q, "m.v", Some("m.rid"));
-                    let nested = nest_sort_idx(&rel, &[0, 1], &[2, 3], "sub");
+                    let nested = nest_sort_idx(&rel, &[0, 1], &[2, 3], "sub").unwrap();
                     let two_pass = if pseudo {
                         sel.pseudo_select(&nested, "sub", &["g.a", "g.k"]).unwrap()
                     } else {
@@ -97,7 +97,7 @@ fn fused_equals_two_pass() {
                     .atoms_as_relation();
 
                     let link = FusedLink::from_selection(&sel, rel.schema(), &[0, 1]).unwrap();
-                    let fused = fused_nest_select(&rel, &[0, 1], link, pseudo, &[0, 1]);
+                    let fused = fused_nest_select(&rel, &[0, 1], link, pseudo, &[0, 1]).unwrap();
                     assert!(
                         fused.multiset_eq(&two_pass),
                         "op {op:?} quant {q:?} pseudo {pseudo} case {case}\nfused:\n{fused}\ntwo-pass:\n{two_pass}"
@@ -121,7 +121,7 @@ fn fused_equals_two_pass_emptiness() {
                 } else {
                     LinkSelection::empty(Some("m.rid"))
                 };
-                let nested = nest_sort_idx(&rel, &[0, 1], &[2, 3], "sub");
+                let nested = nest_sort_idx(&rel, &[0, 1], &[2, 3], "sub").unwrap();
                 let two_pass = if pseudo {
                     sel.pseudo_select(&nested, "sub", &["g.a", "g.k"]).unwrap()
                 } else {
@@ -129,7 +129,7 @@ fn fused_equals_two_pass_emptiness() {
                 }
                 .atoms_as_relation();
                 let link = FusedLink::from_selection(&sel, rel.schema(), &[0, 1]).unwrap();
-                let fused = fused_nest_select(&rel, &[0, 1], link, pseudo, &[0, 1]);
+                let fused = fused_nest_select(&rel, &[0, 1], link, pseudo, &[0, 1]).unwrap();
                 assert!(
                     fused.multiset_eq(&two_pass),
                     "not_empty {not_empty} pseudo {pseudo} case {case}"
@@ -177,7 +177,7 @@ fn pushdown_equivalence() {
                 let (left, right) = join_pair(&mut rng);
                 // Standard plan: R ⟕ S, nest by all of R, σ with marker.
                 let joined = join(&left, &right, &JoinSpec::left_outer(vec![(1, 0)])).unwrap();
-                let nested = nest_sort_idx(&joined, &[0, 1, 2], &[4, 5], "sub");
+                let nested = nest_sort_idx(&joined, &[0, 1, 2], &[4, 5], "sub").unwrap();
                 let sel = LinkSelection::quant("l.a", op, q, "r.v", Some("r.rid"));
                 let standard = sel.select(&nested, "sub").unwrap().atoms_as_relation();
 

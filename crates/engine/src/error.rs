@@ -13,6 +13,30 @@ pub enum EngineError {
     Column(String),
     /// A feature outside the supported subset was requested.
     Unsupported(String),
+    /// An operator tried to grow a materialized structure past the
+    /// query's memory budget (`QueryOptions::mem_limit_bytes` or
+    /// `NRA_MEM_LIMIT`). `requested` is the size of the allocation that
+    /// tripped the budget, not the total.
+    ResourceExhausted {
+        operator: String,
+        requested: u64,
+        limit: u64,
+    },
+    /// The query was cancelled cooperatively (explicit [`CancelToken`]
+    /// or `timeout_ms` deadline). `phase` names the checkpoint that
+    /// observed the cancellation.
+    ///
+    /// [`CancelToken`]: crate::governor::CancelToken
+    Cancelled {
+        phase: String,
+    },
+    /// A worker (or the coordinating thread) panicked mid-query; the
+    /// panic was contained, remaining morsels were drained, and the
+    /// database is still usable. `site` is the nearest execution site.
+    WorkerPanicked {
+        site: String,
+        message: String,
+    },
     Storage(StorageError),
     Sql(SqlError),
 }
@@ -28,6 +52,20 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::Column(c) => write!(f, "cannot resolve column `{c}` in operator input"),
             EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            EngineError::ResourceExhausted {
+                operator,
+                requested,
+                limit,
+            } => write!(
+                f,
+                "memory budget exhausted in `{operator}`: requested {requested} bytes, limit {limit} bytes"
+            ),
+            EngineError::Cancelled { phase } => {
+                write!(f, "query cancelled during `{phase}`")
+            }
+            EngineError::WorkerPanicked { site, message } => {
+                write!(f, "worker panicked at `{site}`: {message}")
+            }
             EngineError::Storage(e) => write!(f, "{e}"),
             EngineError::Sql(e) => write!(f, "{e}"),
         }
@@ -39,7 +77,11 @@ impl std::error::Error for EngineError {
         match self {
             EngineError::Storage(e) => Some(e),
             EngineError::Sql(e) => Some(e),
-            EngineError::Column(_) | EngineError::Unsupported(_) => None,
+            EngineError::Column(_)
+            | EngineError::Unsupported(_)
+            | EngineError::ResourceExhausted { .. }
+            | EngineError::Cancelled { .. }
+            | EngineError::WorkerPanicked { .. } => None,
         }
     }
 }

@@ -15,8 +15,12 @@
 //!   spawn cost;
 //! * [`run_partitioned`] — scoped fork/join (`std::thread::scope`, no
 //!   external dependencies) that returns worker results *in partition
-//!   order* and merges worker-side [`nra_obs`] collections back into the
-//!   coordinating thread deterministically;
+//!   order*, merges worker-side [`nra_obs`] collections back into the
+//!   coordinating thread deterministically, carries the installed
+//!   [`crate::governor`] onto every worker, and **contains worker
+//!   panics**: a panic anywhere inside a partition closure surfaces as
+//!   [`EngineError::WorkerPanicked`] after all sibling partitions have
+//!   drained, never as a process abort;
 //! * [`chunks`] — contiguous input splitting, so concatenating worker
 //!   outputs in partition order reproduces the sequential scan order;
 //! * [`sort_rows_by`] — a stable parallel merge sort whose output equals
@@ -29,11 +33,17 @@
 //! key so that all tuples of one group land in one partition and the
 //! groups are re-emitted in a globally defined order (hash-join builds,
 //! hash nest). Both shapes reproduce the sequential output order, not
-//! just the same multiset.
+//! just the same multiset. Errors are deterministic too: when several
+//! partitions fail, the error of the lowest-numbered partition is the
+//! one reported (first-error-wins in partition order, not in completion
+//! order).
 
 use std::cell::Cell;
 use std::cmp::Ordering;
 use std::ops::Range;
+
+use crate::error::EngineError;
+use crate::{faultinject, governor};
 
 /// Default minimum rows per worker before an operator partitions.
 /// Spawning a scoped thread costs ~10µs; below this floor the sequential
@@ -144,46 +154,111 @@ pub fn chunks(len: usize, parts: usize) -> Vec<Range<usize>> {
     out
 }
 
+/// Best-effort rendering of a panic payload for
+/// [`EngineError::WorkerPanicked`] messages (`panic!` payloads are
+/// `&str` or `String` in practice).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run `f`, converting a panic into a structured
+/// [`EngineError::WorkerPanicked`] instead of unwinding further. Used
+/// around every partition closure (including partition 0, which runs
+/// inline on the coordinator) so a panicking operator can never abort
+/// the process or poison the scheduler.
+fn contain<T>(site: &str, f: impl FnOnce() -> Result<T, EngineError>) -> Result<T, EngineError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(result) => result,
+        Err(payload) => Err(EngineError::WorkerPanicked {
+            site: site.to_string(),
+            message: panic_message(payload.as_ref()),
+        }),
+    }
+}
+
 /// Run `f(p)` for every partition `p in 0..parts` and return the results
 /// in partition order.
 ///
 /// Partition 0 runs inline on the calling thread (its observability spans
 /// reach the parent collector directly); partitions `1..` run on scoped
-/// worker threads under an [`nra_obs::Handoff`], and their collected
-/// profiles are absorbed into the parent collector *in partition order*
-/// after the join — so merged counters are deterministic regardless of
-/// how the OS schedules the workers. With `parts == 1` this degenerates
-/// to a plain call with zero thread overhead.
-pub fn run_partitioned<T, F>(parts: usize, f: F) -> Vec<T>
+/// worker threads under an [`nra_obs::Handoff`] plus the calling thread's
+/// [`crate::governor`], and their collected profiles are absorbed into
+/// the parent collector *in partition order* after the join — so merged
+/// counters are deterministic regardless of how the OS schedules the
+/// workers. With `parts == 1` this degenerates to a plain call with zero
+/// thread overhead.
+///
+/// Failure semantics: a cancelled query fails at dispatch (before any
+/// spawn); a partition that returns `Err` or panics does not interrupt
+/// its siblings — every partition runs to completion (remaining morsels
+/// drain, worker collectors unwind cleanly) and the error of the
+/// lowest-numbered failing partition is returned.
+pub fn run_partitioned<T, F>(parts: usize, f: F) -> Result<Vec<T>, EngineError>
 where
     T: Send,
-    F: Fn(usize) -> T + Sync,
+    F: Fn(usize) -> Result<T, EngineError> + Sync,
 {
+    governor::checkpoint("partition-dispatch")?;
+    faultinject::hit(faultinject::PARTITION_MERGE)?;
     if parts <= 1 {
-        return vec![f(0)];
+        return Ok(vec![contain("partition-0", || f(0))?]);
     }
     let handoff = nra_obs::Handoff::capture();
-    let mut results: Vec<T> = Vec::with_capacity(parts);
+    let gov = governor::current();
+    let mut results: Vec<Result<T, EngineError>> = Vec::with_capacity(parts);
     let mut profiles: Vec<Option<nra_obs::Profile>> = Vec::with_capacity(parts - 1);
     std::thread::scope(|s| {
         let handles: Vec<_> = (1..parts)
             .map(|p| {
                 let handoff = &handoff;
+                let gov = gov.clone();
                 let f = &f;
-                s.spawn(move || handoff.run(|| f(p)))
+                s.spawn(move || {
+                    let _gov = governor::install(gov);
+                    // Contain inside the handoff so the worker's
+                    // collector is torn down normally even on panic.
+                    handoff.run(|| {
+                        contain("worker", || {
+                            governor::checkpoint("worker-start")?;
+                            f(p)
+                        })
+                    })
+                })
             })
             .collect();
-        results.push(f(0));
+        results.push(contain("partition-0", || f(0)));
         for handle in handles {
-            let (out, profile) = handle.join().expect("exec worker panicked");
-            results.push(out);
-            profiles.push(profile);
+            match handle.join() {
+                Ok((out, profile)) => {
+                    results.push(out);
+                    profiles.push(profile);
+                }
+                // `contain` already catches panics inside the closure;
+                // this arm only fires if unwinding escaped it (e.g. a
+                // panic in the handoff teardown itself).
+                Err(payload) => {
+                    results.push(Err(EngineError::WorkerPanicked {
+                        site: "worker".to_string(),
+                        message: panic_message(payload.as_ref()),
+                    }));
+                    profiles.push(None);
+                }
+            }
         }
     });
+    // Worker profiles merge in partition order even when some partition
+    // failed: the counters that were collected stay deterministic, and
+    // nothing leaks into the next query.
     for profile in profiles.into_iter().flatten() {
         nra_obs::absorb(&profile);
     }
-    results
+    results.into_iter().collect()
 }
 
 /// Stable parallel sort of `rows`, byte-identical to
@@ -195,17 +270,21 @@ where
 /// input is too small.
 ///
 /// Sorting happens on an index vector (workers share `&rows` read-only),
-/// and the final permutation moves each row exactly once.
-pub fn sort_rows_by<T, F>(rows: &mut Vec<T>, cmp: F)
+/// and the final permutation moves each row exactly once. The index
+/// scratch (two `u32` vectors) is charged to the governor as sort
+/// scratch before it is allocated.
+pub fn sort_rows_by<T, F>(rows: &mut Vec<T>, cmp: F) -> Result<(), EngineError>
 where
     T: Sync + Send + Default,
     F: Fn(&T, &T) -> Ordering + Sync,
 {
     let parts = partitions(rows.len());
     if parts <= 1 {
+        governor::checkpoint("sort")?;
         rows.sort_by(&cmp);
-        return;
+        return Ok(());
     }
+    governor::charge("sort", 8 * rows.len() as u64)?;
     let n = rows.len();
     let mut runs = chunks(n, parts);
     let mut src: Vec<u32> = Vec::with_capacity(n);
@@ -219,8 +298,8 @@ where
             let r = runs[p].clone();
             let mut idx: Vec<u32> = (r.start as u32..r.end as u32).collect();
             idx.sort_by(|&a, &b| cmp(&view[a as usize], &view[b as usize]));
-            idx
-        });
+            Ok(idx)
+        })?;
         for chunk in sorted {
             src.extend_from_slice(&chunk);
         }
@@ -228,6 +307,7 @@ where
         // Each pair writes a disjoint slice of `dst`; ties take the left
         // run, whose indices are the smaller ones — overall stability.
         while runs.len() > 1 {
+            governor::checkpoint("sort-merge")?;
             let mut next_runs = Vec::with_capacity(runs.len().div_ceil(2));
             std::thread::scope(|s| {
                 let mut dst_rest: &mut [u32] = &mut dst;
@@ -265,6 +345,7 @@ where
     // each row is taken out of the old vector exactly once.
     let mut old = std::mem::take(rows);
     rows.extend(src.iter().map(|&i| std::mem::take(&mut old[i as usize])));
+    Ok(())
 }
 
 /// Stable two-run merge: on ties the left run wins.
@@ -295,6 +376,7 @@ pub fn key_hash<K: std::hash::Hash>(key: &K) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     /// Run `f` with a given budget and a morsel floor of 1.
     fn with_budget<T>(threads: usize, f: impl FnOnce() -> T) -> T {
@@ -336,34 +418,113 @@ mod tests {
     }
 
     #[test]
-    fn run_partitioned_returns_in_partition_order() {
+    fn run_partitioned_returns_in_partition_order() -> Result<(), EngineError> {
         let out = with_budget(4, || {
             run_partitioned(4, |p| {
                 // Make later partitions finish first.
                 std::thread::sleep(std::time::Duration::from_millis(4 - p as u64));
-                p * 10
+                Ok(p * 10)
             })
-        });
+        })?;
         assert_eq!(out, vec![0, 10, 20, 30]);
+        Ok(())
     }
 
     #[test]
-    fn run_partitioned_merges_worker_stats_deterministically() {
+    fn run_partitioned_merges_worker_stats_deterministically() -> Result<(), String> {
         nra_obs::enable();
         with_budget(4, || {
             run_partitioned(4, |p| {
                 let mut sp = nra_obs::span(|| "work".to_string());
                 sp.rows_out(p + 1);
+                Ok(())
             })
-        });
-        let profile = nra_obs::disable().unwrap();
-        let s = profile.get("work").unwrap();
+        })
+        .map_err(|e| e.to_string())?;
+        let profile = nra_obs::disable().ok_or("collection was not enabled")?;
+        let s = profile.get("work").ok_or("missing `work` entry")?;
         assert_eq!(s.invocations, 4);
         assert_eq!(s.rows_out, 1 + 2 + 3 + 4);
+        Ok(())
     }
 
     #[test]
-    fn parallel_sort_equals_sequential_stable_sort() {
+    fn partition_panics_become_structured_errors() {
+        for t in [1usize, 2, 4] {
+            let result = with_budget(t, || {
+                run_partitioned(t, |p| -> Result<(), EngineError> {
+                    if p == t - 1 {
+                        panic!("boom in partition {p}");
+                    }
+                    Ok(())
+                })
+            });
+            match result {
+                Err(EngineError::WorkerPanicked { message, .. }) => {
+                    assert!(message.contains("boom"), "threads={t}: {message}");
+                }
+                other => panic!("threads={t}: expected WorkerPanicked, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn first_error_wins_in_partition_order() {
+        let result = with_budget(4, || {
+            run_partitioned(4, |p| -> Result<(), EngineError> {
+                // Lower-numbered partitions fail later in wall time: the
+                // reported error must still be partition 0's.
+                std::thread::sleep(std::time::Duration::from_millis(p as u64));
+                Err(EngineError::Unsupported(format!("p{p}")))
+            })
+        });
+        assert_eq!(result, Err(EngineError::Unsupported("p0".into())));
+    }
+
+    #[test]
+    fn failing_partition_drains_siblings() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let ran = Arc::new(AtomicUsize::new(0));
+        let result = with_budget(4, || {
+            run_partitioned(4, |p| {
+                ran.fetch_add(1, Ordering::SeqCst);
+                if p == 0 {
+                    Err(EngineError::Unsupported("p0 fails".into()))
+                } else {
+                    Ok(())
+                }
+            })
+        });
+        assert!(result.is_err());
+        assert_eq!(ran.load(Ordering::SeqCst), 4, "all partitions must run");
+    }
+
+    #[test]
+    fn cancelled_dispatch_refuses_to_spawn() {
+        let token = governor::CancelToken::new();
+        token.cancel();
+        let gov = Arc::new(governor::Governor::new().cancel_token(token));
+        let _g = governor::install(Some(gov));
+        let result = with_budget(4, || run_partitioned(4, Ok));
+        assert!(matches!(result, Err(EngineError::Cancelled { .. })));
+    }
+
+    #[test]
+    fn workers_inherit_the_governor() {
+        // A 2-byte budget must trip charges made from worker threads.
+        let gov = Arc::new(governor::Governor::new().mem_limit(2));
+        let _g = governor::install(Some(gov));
+        let result = with_budget(4, || {
+            run_partitioned(4, |_p| {
+                governor::charge("worker-alloc", 1024)?;
+                Ok(())
+            })
+        });
+        assert!(matches!(result, Err(EngineError::ResourceExhausted { .. })));
+    }
+
+    #[test]
+    fn parallel_sort_equals_sequential_stable_sort() -> Result<(), EngineError> {
         // Pairs sorted by the first component only: the second component
         // witnesses stability.
         let mut rng = 0x2545_F491u64;
@@ -379,10 +540,11 @@ mod tests {
             expect.sort_by_key(|a| a.0);
             for t in [2, 3, 4] {
                 let mut got = data.clone();
-                with_budget(t, || sort_rows_by(&mut got, |a, b| a.0.cmp(&b.0)));
+                with_budget(t, || sort_rows_by(&mut got, |a, b| a.0.cmp(&b.0)))?;
                 assert_eq!(got, expect, "len={len} threads={t}");
             }
         }
+        Ok(())
     }
 
     #[test]

@@ -1,0 +1,462 @@
+//! Per-query resource governance: memory budgets, cooperative
+//! cancellation, and the thread-local plumbing that carries both across
+//! the morsel scheduler's worker threads.
+//!
+//! A [`Governor`] is built per query (from `QueryOptions` limits, the
+//! `NRA_MEM_LIMIT` / `NRA_FAULT` environment, an explicit
+//! [`CancelToken`], or a `timeout_ms` deadline), wrapped in an `Arc`,
+//! and [`install`]ed on the coordinating thread for the query's
+//! lifetime. `exec::run_partitioned` captures the installed governor and
+//! re-installs it on every worker, the same way `nra_obs::Handoff`
+//! carries the stats collector across.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero cost when idle.** [`charge`] and [`checkpoint`] open with an
+//!    `#[inline]` check of a thread-local flag byte; with no limit, no
+//!    deadline, no token, and no fault plan the flag is 0 and both are a
+//!    single thread-local load. The committed benchmark baselines run
+//!    with the governor compiled in but disarmed.
+//! 2. **Cheap when armed.** Memory charges accumulate in a thread-local
+//!    pending counter and flush into the shared [`Governor`] atomic with
+//!    `Relaxed` ordering only every [`Governor::flush_step`] bytes, so
+//!    workers do not contend on a cache line per allocation. The flush
+//!    step shrinks with the limit (`min(64 KiB, limit/4 + 1)`) so tiny
+//!    test budgets still enforce promptly; enforcement lag is bounded by
+//!    `flush_step` bytes per live worker.
+//! 3. **Determinism preserved.** Charges are order-independent sums over
+//!    the same allocations regardless of worker count or scheduling, so
+//!    a query under its budget behaves byte-identically to an ungoverned
+//!    run; only *which* charge observes the overflow first differs, and
+//!    that only changes the `operator`/`requested` fields of the error.
+//!
+//! Cancellation is cooperative: [`checkpoint`] is called at partition
+//! dispatch in `run_partitioned` and every [`CHECK_ROWS`] rows inside
+//! the sequential operator loops, so a cancelled query stops within one
+//! morsel-sized unit of work and surfaces
+//! [`EngineError::Cancelled`] naming the interrupted phase.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::error::EngineError;
+use crate::faultinject::FaultPlan;
+
+/// Row cadence of cooperative-cancellation checks in sequential scan
+/// loops (matches the morsel floor, so parallel and sequential runs
+/// observe cancellation at comparable granularity).
+pub const CHECK_ROWS: usize = 1024;
+
+/// Largest pending-byte batch a worker holds back before flushing into
+/// the shared counter.
+pub const MAX_FLUSH_STEP: u64 = 64 * 1024;
+
+/// Rough per-value footprint used for budget accounting (a `Value` is a
+/// 16-24 byte enum; string heap payloads are not itemized).
+pub const VALUE_BYTES: u64 = 16;
+
+/// Estimated footprint of `rows` materialized tuples of `width` columns
+/// (values plus one `Vec` header per tuple).
+pub fn tuple_bytes(rows: usize, width: usize) -> u64 {
+    rows as u64 * (width as u64 * VALUE_BYTES + 24)
+}
+
+/// A cloneable cancellation handle. Calling [`CancelToken::cancel`] from
+/// any thread makes every governed checkpoint of the query fail with
+/// [`EngineError::Cancelled`] at its next opportunity.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Request cancellation (idempotent, callable from any thread).
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared, per-query governance state: the memory budget, cancellation
+/// sources, and the armed fault plan. Built once per query and shared
+/// across workers via `Arc`.
+#[derive(Debug, Default)]
+pub struct Governor {
+    mem_limit: Option<u64>,
+    mem_used: AtomicU64,
+    flush_step: u64,
+    cancel: Option<CancelToken>,
+    deadline: Option<Instant>,
+    faults: FaultPlan,
+}
+
+impl Governor {
+    pub fn new() -> Governor {
+        Governor::default()
+    }
+
+    /// Enforce a memory budget of `bytes` over governed allocations.
+    pub fn mem_limit(mut self, bytes: u64) -> Governor {
+        self.mem_limit = Some(bytes);
+        self.flush_step = MAX_FLUSH_STEP.min(bytes / 4 + 1);
+        self
+    }
+
+    /// Cancel the query `ms` milliseconds from now (`0` cancels at the
+    /// first checkpoint).
+    pub fn timeout_ms(mut self, ms: u64) -> Governor {
+        self.deadline = Some(Instant::now() + Duration::from_millis(ms));
+        self
+    }
+
+    /// Attach an explicit cancellation handle.
+    pub fn cancel_token(mut self, token: CancelToken) -> Governor {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Arm a fault plan (see [`crate::faultinject`]).
+    pub fn faults(mut self, plan: FaultPlan) -> Governor {
+        self.faults = plan;
+        self
+    }
+
+    /// Overlay environment defaults: `NRA_MEM_LIMIT` when no limit was
+    /// set programmatically, `NRA_FAULT` when no fault plan was.
+    pub fn with_env(mut self) -> Governor {
+        if self.mem_limit.is_none() {
+            if let Some(bytes) = std::env::var("NRA_MEM_LIMIT")
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+            {
+                self = self.mem_limit(bytes);
+            }
+        }
+        if self.faults.is_empty() {
+            self.faults = FaultPlan::from_env();
+        }
+        self
+    }
+
+    /// Whether installing this governor would arm anything at all.
+    /// Ungoverned queries skip installation entirely, keeping the
+    /// thread-local flag byte at 0.
+    pub fn is_armed(&self) -> bool {
+        self.mem_limit.is_some()
+            || self.deadline.is_some()
+            || self.cancel.is_some()
+            || !self.faults.is_empty()
+    }
+
+    /// Bytes flushed into the shared counter so far (excludes each
+    /// worker's un-flushed pending batch).
+    pub fn mem_used(&self) -> u64 {
+        self.mem_used.load(Ordering::Relaxed)
+    }
+
+    fn flags(&self) -> u8 {
+        let mut f = 0;
+        if self.mem_limit.is_some() {
+            f |= F_MEM;
+        }
+        if self.deadline.is_some() || self.cancel.is_some() {
+            f |= F_CANCEL;
+        }
+        if !self.faults.is_empty() {
+            f |= F_FAULT;
+        }
+        f
+    }
+}
+
+const F_MEM: u8 = 1;
+const F_CANCEL: u8 = 2;
+const F_FAULT: u8 = 4;
+
+thread_local! {
+    /// The governor of the query currently executing on this thread.
+    static CURRENT: RefCell<Option<Arc<Governor>>> = const { RefCell::new(None) };
+    /// Which of the governor's facilities are armed (fast-path gate for
+    /// [`charge`] / [`checkpoint`] / `faultinject::hit`).
+    static FLAGS: Cell<u8> = const { Cell::new(0) };
+    /// This thread's un-flushed memory charges, in bytes.
+    static PENDING: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Restores the previously installed governor on drop, flushing this
+/// thread's pending charges into the departing governor first.
+#[must_use = "dropping the guard immediately uninstalls the governor"]
+pub struct GovernorGuard {
+    prev: Option<Arc<Governor>>,
+    prev_flags: u8,
+    prev_pending: u64,
+}
+
+impl Drop for GovernorGuard {
+    fn drop(&mut self) {
+        let pending = PENDING.with(|p| p.replace(self.prev_pending));
+        CURRENT.with(|c| {
+            let mut cur = c.borrow_mut();
+            if let (Some(g), true) = (cur.as_ref(), pending > 0) {
+                g.mem_used.fetch_add(pending, Ordering::Relaxed);
+            }
+            *cur = self.prev.take();
+        });
+        FLAGS.with(|f| f.set(self.prev_flags));
+    }
+}
+
+/// Install `gov` (or, with `None`, nothing) as this thread's governor
+/// for the lifetime of the returned guard. `Database::execute` installs
+/// on the coordinator; `exec::run_partitioned` re-installs the captured
+/// governor on each worker.
+pub fn install(gov: Option<Arc<Governor>>) -> GovernorGuard {
+    let flags = gov.as_ref().map_or(0, |g| g.flags());
+    let prev = CURRENT.with(|c| std::mem::replace(&mut *c.borrow_mut(), gov));
+    GovernorGuard {
+        prev,
+        prev_flags: FLAGS.with(|f| f.replace(flags)),
+        prev_pending: PENDING.with(|p| p.replace(0)),
+    }
+}
+
+/// The governor installed on this thread, if any (captured by the
+/// scheduler to hand to workers).
+pub fn current() -> Option<Arc<Governor>> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Charge `bytes` of governed allocation against the query budget on
+/// behalf of `site`. A single thread-local flag check when no memory
+/// limit is armed.
+#[inline]
+pub fn charge(site: &str, bytes: u64) -> Result<(), EngineError> {
+    if FLAGS.with(Cell::get) & F_MEM == 0 {
+        return Ok(());
+    }
+    charge_armed(site, bytes)
+}
+
+fn charge_armed(site: &str, bytes: u64) -> Result<(), EngineError> {
+    CURRENT.with(|c| {
+        let cur = c.borrow();
+        let Some(g) = cur.as_ref() else {
+            return Ok(());
+        };
+        let pending = PENDING.with(Cell::get) + bytes;
+        if pending < g.flush_step {
+            PENDING.with(|p| p.set(pending));
+            return Ok(());
+        }
+        PENDING.with(|p| p.set(0));
+        let total = g.mem_used.fetch_add(pending, Ordering::Relaxed) + pending;
+        let limit = g.mem_limit.unwrap_or(u64::MAX);
+        if total > limit {
+            nra_obs::trace::emit(|| nra_obs::trace::TraceEvent::Governor {
+                action: "resource-exhausted".into(),
+                detail: format!("{site} (used {total} of {limit} bytes)"),
+            });
+            return Err(EngineError::ResourceExhausted {
+                operator: site.to_string(),
+                requested: bytes,
+                limit,
+            });
+        }
+        Ok(())
+    })
+}
+
+/// Cooperative cancellation checkpoint. Fails with
+/// [`EngineError::Cancelled`] naming `phase` when the query's token was
+/// cancelled or its deadline passed. A single thread-local flag check
+/// when neither a token nor a deadline is armed.
+#[inline]
+pub fn checkpoint(phase: &str) -> Result<(), EngineError> {
+    if FLAGS.with(Cell::get) & F_CANCEL == 0 {
+        return Ok(());
+    }
+    checkpoint_armed(phase)
+}
+
+/// [`checkpoint`], but only on every [`CHECK_ROWS`]-th iteration — the
+/// cadence sequential scan loops use (`governor::tick(i, "phase")?`).
+#[inline]
+pub fn tick(i: usize, phase: &str) -> Result<(), EngineError> {
+    if !i.is_multiple_of(CHECK_ROWS) {
+        return Ok(());
+    }
+    checkpoint(phase)
+}
+
+fn checkpoint_armed(phase: &str) -> Result<(), EngineError> {
+    CURRENT.with(|c| {
+        let cur = c.borrow();
+        let Some(g) = cur.as_ref() else {
+            return Ok(());
+        };
+        let cancelled = g.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+            || g.deadline.is_some_and(|d| Instant::now() >= d);
+        if cancelled {
+            nra_obs::trace::emit(|| nra_obs::trace::TraceEvent::Governor {
+                action: "cancelled".into(),
+                detail: phase.to_string(),
+            });
+            return Err(EngineError::Cancelled {
+                phase: phase.to_string(),
+            });
+        }
+        Ok(())
+    })
+}
+
+/// Whether the installed governor (if any) has a non-empty fault plan
+/// (fast-path gate for [`crate::faultinject::hit`]).
+#[inline]
+pub(crate) fn faults_armed() -> bool {
+    FLAGS.with(Cell::get) & F_FAULT != 0
+}
+
+/// Count a pass through the named fault site against the installed
+/// governor's plan.
+pub(crate) fn observe_fault(site: &str) -> Result<(), EngineError> {
+    CURRENT.with(|c| {
+        let cur = c.borrow();
+        let Some(g) = cur.as_ref() else {
+            return Ok(());
+        };
+        g.faults.observe(site, g.mem_limit.unwrap_or(0))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faultinject::{self, FaultKind};
+
+    #[test]
+    fn ungoverned_thread_is_inert() {
+        assert!(charge("x", u64::MAX).is_ok());
+        assert!(checkpoint("x").is_ok());
+        assert!(faultinject::hit(faultinject::JOIN_BUILD).is_ok());
+    }
+
+    #[test]
+    fn uninstall_restores_previous_state() {
+        let outer = Arc::new(Governor::new().mem_limit(1_000_000));
+        let inner = Arc::new(Governor::new().mem_limit(10));
+        let _og = install(Some(outer.clone()));
+        assert!(charge("outer", 100).is_ok());
+        {
+            let _ig = install(Some(inner.clone()));
+            assert!(charge("inner", 100).is_err());
+        }
+        // Back on the outer governor: small charges pass again.
+        assert!(charge("outer", 100).is_ok());
+        drop(_og);
+        assert!(charge("outer", u64::MAX).is_ok());
+        // The outer governor saw its own charges (flushed on uninstall),
+        // not the inner governor's.
+        assert_eq!(outer.mem_used(), 200);
+    }
+
+    #[test]
+    fn tiny_limits_enforce_promptly() {
+        let g = Arc::new(Governor::new().mem_limit(1_000));
+        let _guard = install(Some(g));
+        // flush_step = 251, so four 300-byte charges must trip the limit
+        // well before u64 pending wraps anything.
+        let mut err = None;
+        for _ in 0..4 {
+            if let Err(e) = charge("nest-build", 300) {
+                err = Some(e);
+                break;
+            }
+        }
+        match err {
+            Some(EngineError::ResourceExhausted {
+                operator, limit, ..
+            }) => {
+                assert_eq!(operator, "nest-build");
+                assert_eq!(limit, 1_000);
+            }
+            other => panic!("expected ResourceExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn charges_below_limit_accumulate_without_error() {
+        let g = Arc::new(Governor::new().mem_limit(1 << 30));
+        {
+            let _guard = install(Some(g.clone()));
+            for _ in 0..1000 {
+                charge("op", 1024).unwrap();
+            }
+        }
+        assert_eq!(g.mem_used(), 1000 * 1024);
+    }
+
+    #[test]
+    fn cancel_token_trips_checkpoint() {
+        let token = CancelToken::new();
+        let g = Arc::new(Governor::new().cancel_token(token.clone()));
+        let _guard = install(Some(g));
+        assert!(checkpoint("scan").is_ok());
+        token.cancel();
+        match checkpoint("scan") {
+            Err(EngineError::Cancelled { phase }) => assert_eq!(phase, "scan"),
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_timeout_cancels_immediately() {
+        let g = Arc::new(Governor::new().timeout_ms(0));
+        let _guard = install(Some(g));
+        assert!(matches!(
+            checkpoint("dispatch"),
+            Err(EngineError::Cancelled { .. })
+        ));
+    }
+
+    #[test]
+    fn tick_checks_on_cadence_only() {
+        let token = CancelToken::new();
+        token.cancel();
+        let g = Arc::new(Governor::new().cancel_token(token));
+        let _guard = install(Some(g));
+        assert!(tick(1, "scan").is_ok());
+        assert!(tick(CHECK_ROWS - 1, "scan").is_ok());
+        assert!(tick(0, "scan").is_err());
+        assert!(tick(CHECK_ROWS, "scan").is_err());
+    }
+
+    #[test]
+    fn fault_plan_fires_through_hit() {
+        let mut plan = FaultPlan::default();
+        plan.push(faultinject::NEST_FLUSH, 1, FaultKind::AllocFail);
+        let g = Arc::new(Governor::new().faults(plan));
+        let _guard = install(Some(g));
+        assert!(faultinject::hit(faultinject::JOIN_BUILD).is_ok());
+        assert!(matches!(
+            faultinject::hit(faultinject::NEST_FLUSH),
+            Err(EngineError::ResourceExhausted { .. })
+        ));
+        // One-shot: the nth pass has been consumed.
+        assert!(faultinject::hit(faultinject::NEST_FLUSH).is_ok());
+    }
+
+    #[test]
+    fn unarmed_governor_is_not_installed_armed() {
+        assert!(!Governor::new().is_armed());
+        assert!(Governor::new().mem_limit(1).is_armed());
+        assert!(Governor::new().timeout_ms(1).is_armed());
+        assert!(Governor::new().cancel_token(CancelToken::new()).is_armed());
+    }
+}

@@ -7,6 +7,10 @@
 //! * [`exec`] — the morsel-style partition scheduler: worker budget,
 //!   contiguous chunking, deterministic fork/join and a stable parallel
 //!   sort (see `DESIGN.md` §10);
+//! * [`governor`] — per-query resource governance: memory budgets,
+//!   cooperative cancellation, and the worker handoff for both;
+//! * [`faultinject`] — deterministic fault injection at named execution
+//!   sites (`NRA_FAULT`), proving every recovery path;
 //! * [`ops`] — physical operators (scan, filter, project, sort, Cartesian
 //!   product, and hash inner/left-outer/semi/anti joins with residuals);
 //! * [`planning`] — helpers splitting join conditions into hash keys and
@@ -21,10 +25,14 @@ pub mod baseline;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod faultinject;
+pub mod governor;
 pub mod ops;
 pub mod planning;
 pub mod reference;
 
 pub use error::EngineError;
 pub use expr::{CExpr, CPred};
+pub use faultinject::{FaultKind, FaultPlan};
+pub use governor::{CancelToken, Governor};
 pub use ops::{join, JoinKind, JoinSpec};

@@ -27,6 +27,7 @@ use nra_storage::{GroupKey, Relation, Value};
 use crate::error::EngineError;
 use crate::exec;
 use crate::expr::CPred;
+use crate::{faultinject, governor};
 
 /// Join flavor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,10 +95,12 @@ pub fn join(left: &Relation, right: &Relation, spec: &JoinSpec) -> Result<Relati
             sp.partitions(parts);
         }
         let ranges = exec::chunks(left.len(), parts);
+        let out_width = left.schema().len() + right_width;
         let results = exec::run_partitioned(parts, |p| {
             let mut rows: Vec<Vec<Value>> = Vec::new();
-            let mut combined: Vec<Value> = Vec::with_capacity(left.schema().len() + right_width);
-            for l in &left.rows()[ranges[p].clone()] {
+            let mut combined: Vec<Value> = Vec::with_capacity(out_width);
+            for (i, l) in left.rows()[ranges[p].clone()].iter().enumerate() {
+                governor::tick(i, "join-scan")?;
                 let mut matched = false;
                 for r in right.rows() {
                     combined.clear();
@@ -114,8 +117,9 @@ pub fn join(left: &Relation, right: &Relation, spec: &JoinSpec) -> Result<Relati
                 }
                 emit_unmatched(&mut rows, l, right_width, spec.kind, matched);
             }
-            rows
-        });
+            governor::charge("join", governor::tuple_bytes(rows.len(), out_width))?;
+            Ok(rows)
+        })?;
         for rows in results {
             out.rows_mut().extend(rows);
         }
@@ -130,16 +134,18 @@ pub fn join(left: &Relation, right: &Relation, spec: &JoinSpec) -> Result<Relati
     // build partition the rows are hash-partitioned by key, so every
     // match list ends up in exactly one table with its rids ascending —
     // the same list the single sequential table would hold.
+    faultinject::hit(faultinject::JOIN_BUILD)?;
     let bparts = exec::partitions(right.len());
-    let tables = build_tables(right, &right_keys, bparts);
+    let tables = build_tables(right, &right_keys, bparts)?;
     let built: usize = tables
         .iter()
         .map(|t| t.values().map(Vec::len).sum::<usize>())
         .sum();
+    // Approximate footprint: each entry carries its key values
+    // (~16 bytes per column) plus a row id.
+    let entry_bytes = right_keys.len() * 16 + std::mem::size_of::<usize>();
+    governor::charge("join-build", (built * entry_bytes) as u64)?;
     if sp.active() {
-        // Approximate footprint: each entry carries its key values
-        // (~16 bytes per column) plus a row id.
-        let entry_bytes = right_keys.len() * 16 + std::mem::size_of::<usize>();
         sp.hash_build(built, built * entry_bytes);
     }
 
@@ -149,10 +155,12 @@ pub fn join(left: &Relation, right: &Relation, spec: &JoinSpec) -> Result<Relati
         sp.partitions(bparts.max(pparts));
     }
     let ranges = exec::chunks(left.len(), pparts);
+    let out_width = left.schema().len() + right_width;
     let results = exec::run_partitioned(pparts, |p| {
         let mut rows: Vec<Vec<Value>> = Vec::new();
-        let mut combined: Vec<Value> = Vec::with_capacity(left.schema().len() + right_width);
-        for l in &left.rows()[ranges[p].clone()] {
+        let mut combined: Vec<Value> = Vec::with_capacity(out_width);
+        for (i, l) in left.rows()[ranges[p].clone()].iter().enumerate() {
+            governor::tick(i, "join-probe")?;
             let key = GroupKey::from_tuple(l, &left_keys);
             let mut matched = false;
             if !key.has_null() {
@@ -175,8 +183,9 @@ pub fn join(left: &Relation, right: &Relation, spec: &JoinSpec) -> Result<Relati
             }
             emit_unmatched(&mut rows, l, right_width, spec.kind, matched);
         }
-        rows
-    });
+        governor::charge("join", governor::tuple_bytes(rows.len(), out_width))?;
+        Ok(rows)
+    })?;
     for rows in results {
         out.rows_mut().extend(rows);
     }
@@ -198,23 +207,24 @@ fn build_tables(
     right: &Relation,
     right_keys: &[usize],
     bparts: usize,
-) -> Vec<HashMap<GroupKey, Vec<usize>>> {
+) -> Result<Vec<HashMap<GroupKey, Vec<usize>>>, EngineError> {
     if bparts <= 1 {
         let mut table: HashMap<GroupKey, Vec<usize>> = HashMap::new();
         for (rid, r) in right.rows().iter().enumerate() {
+            governor::tick(rid, "join-build")?;
             let key = GroupKey::from_tuple(r, right_keys);
             if !key.has_null() {
                 table.entry(key).or_default().push(rid);
             }
         }
-        return vec![table];
+        return Ok(vec![table]);
     }
     // Pre-assign rows to build partitions in one chunked parallel pass
     // (u32::MAX marks NULL keys, which no table admits), then let each
     // worker insert exactly its partition's rows.
     let ranges = exec::chunks(right.len(), bparts);
     let assigned = exec::run_partitioned(bparts, |p| {
-        right.rows()[ranges[p].clone()]
+        Ok(right.rows()[ranges[p].clone()]
             .iter()
             .map(|r| {
                 let key = GroupKey::from_tuple(r, right_keys);
@@ -224,12 +234,13 @@ fn build_tables(
                     (exec::key_hash(&key) % bparts as u64) as u32
                 }
             })
-            .collect::<Vec<u32>>()
-    });
+            .collect::<Vec<u32>>())
+    })?;
     let assign: Vec<u32> = assigned.into_iter().flatten().collect();
     exec::run_partitioned(bparts, |b| {
         let mut table: HashMap<GroupKey, Vec<usize>> = HashMap::new();
         for (rid, r) in right.rows().iter().enumerate() {
+            governor::tick(rid, "join-build")?;
             if assign[rid] == b as u32 {
                 table
                     .entry(GroupKey::from_tuple(r, right_keys))
@@ -237,7 +248,7 @@ fn build_tables(
                     .push(rid);
             }
         }
-        table
+        Ok(table)
     })
 }
 

@@ -39,21 +39,25 @@ fn all_cols(rel: &Relation) -> Vec<usize> {
 /// Extract every row's grouping key, in row order, chunked across
 /// workers (key extraction clones values — the expensive part of the
 /// probe side).
-fn extract_keys(rel: &Relation, cols: &[usize], sp: &mut nra_obs::Span) -> Vec<GroupKey> {
+fn extract_keys(
+    rel: &Relation,
+    cols: &[usize],
+    sp: &mut nra_obs::Span,
+) -> Result<Vec<GroupKey>, EngineError> {
     let parts = exec::partitions(rel.len());
     if parts > 1 {
         sp.partitions(parts);
     }
     let ranges = exec::chunks(rel.len(), parts);
-    exec::run_partitioned(parts, |p| {
-        rel.rows()[ranges[p].clone()]
+    Ok(exec::run_partitioned(parts, |p| {
+        Ok(rel.rows()[ranges[p].clone()]
             .iter()
             .map(|row| GroupKey::from_tuple(row, cols))
-            .collect::<Vec<_>>()
-    })
+            .collect::<Vec<_>>())
+    })?
     .into_iter()
     .flatten()
-    .collect()
+    .collect())
 }
 
 /// Each left row's key plus whether it occurs in `right_keys`, in row
@@ -64,25 +68,25 @@ fn memberships(
     right_keys: &HashSet<GroupKey>,
     cols: &[usize],
     sp: &mut nra_obs::Span,
-) -> Vec<(GroupKey, bool)> {
+) -> Result<Vec<(GroupKey, bool)>, EngineError> {
     let parts = exec::partitions(left.len());
     if parts > 1 {
         sp.partitions(parts);
     }
     let ranges = exec::chunks(left.len(), parts);
-    exec::run_partitioned(parts, |p| {
-        left.rows()[ranges[p].clone()]
+    Ok(exec::run_partitioned(parts, |p| {
+        Ok(left.rows()[ranges[p].clone()]
             .iter()
             .map(|row| {
                 let key = GroupKey::from_tuple(row, cols);
                 let hit = right_keys.contains(&key);
                 (key, hit)
             })
-            .collect::<Vec<_>>()
-    })
+            .collect::<Vec<_>>())
+    })?
     .into_iter()
     .flatten()
-    .collect()
+    .collect())
 }
 
 /// `left ∪ right` (set semantics, left schema kept).
@@ -91,8 +95,8 @@ pub fn union(left: &Relation, right: &Relation) -> Result<Relation, EngineError>
     sp.rows_in(left.len() + right.len());
     check_arity(left, right)?;
     let cols = all_cols(left);
-    let mut keys = extract_keys(left, &cols, &mut sp);
-    keys.extend(extract_keys(right, &cols, &mut sp));
+    let mut keys = extract_keys(left, &cols, &mut sp)?;
+    keys.extend(extract_keys(right, &cols, &mut sp)?);
     let mut seen: HashSet<GroupKey> = HashSet::new();
     let mut out = Relation::new(left.schema().clone());
     for (row, key) in left.rows().iter().chain(right.rows()).zip(keys) {
@@ -110,8 +114,8 @@ pub fn intersect(left: &Relation, right: &Relation) -> Result<Relation, EngineEr
     sp.rows_in(left.len() + right.len());
     check_arity(left, right)?;
     let cols = all_cols(left);
-    let right_keys: HashSet<GroupKey> = extract_keys(right, &cols, &mut sp).into_iter().collect();
-    let keyed = memberships(left, &right_keys, &cols, &mut sp);
+    let right_keys: HashSet<GroupKey> = extract_keys(right, &cols, &mut sp)?.into_iter().collect();
+    let keyed = memberships(left, &right_keys, &cols, &mut sp)?;
     let mut emitted: HashSet<GroupKey> = HashSet::new();
     let mut out = Relation::new(left.schema().clone());
     for (row, (key, hit)) in left.rows().iter().zip(keyed) {
@@ -129,8 +133,8 @@ pub fn difference(left: &Relation, right: &Relation) -> Result<Relation, EngineE
     sp.rows_in(left.len() + right.len());
     check_arity(left, right)?;
     let cols = all_cols(left);
-    let right_keys: HashSet<GroupKey> = extract_keys(right, &cols, &mut sp).into_iter().collect();
-    let keyed = memberships(left, &right_keys, &cols, &mut sp);
+    let right_keys: HashSet<GroupKey> = extract_keys(right, &cols, &mut sp)?.into_iter().collect();
+    let keyed = memberships(left, &right_keys, &cols, &mut sp)?;
     let mut emitted: HashSet<GroupKey> = HashSet::new();
     let mut out = Relation::new(left.schema().clone());
     for (row, (key, hit)) in left.rows().iter().zip(keyed) {

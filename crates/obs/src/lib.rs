@@ -186,11 +186,13 @@ pub fn snapshot() -> Profile {
                 .collect(),
             io: io_snapshot(),
             threads: 1,
+            outcome: None,
         },
         None => Profile {
             ops: Vec::new(),
             io: None,
             threads: 1,
+            outcome: None,
         },
     })
 }
@@ -207,6 +209,7 @@ fn finish(col: Collector) -> Profile {
             .collect(),
         io: io_snapshot(),
         threads: 1,
+        outcome: None,
     }
 }
 
@@ -485,6 +488,11 @@ pub struct Profile {
     /// Worker-thread budget the query ran with (1 = sequential; 0 is
     /// treated as 1 for profiles built before the field existed).
     pub threads: usize,
+    /// How the query finished, when the caller recorded it: `"ok"`,
+    /// `"cancelled"`, `"resource-exhausted"`, `"worker-panicked"`, or
+    /// `"error"` for any other failure. `None` for profiles collected
+    /// outside a query lifecycle.
+    pub outcome: Option<String>,
 }
 
 impl Profile {
@@ -567,6 +575,10 @@ impl Profile {
             None => out.push_str("null"),
         }
         out.push_str(&format!(", \"threads\": {}", self.threads.max(1)));
+        if let Some(outcome) = &self.outcome {
+            out.push_str(", \"outcome\": ");
+            json::write_string(&mut out, outcome);
+        }
         out.push_str(&format!(", \"total_wall_ns\": {}}}", self.total_wall_ns()));
         out
     }

@@ -103,6 +103,10 @@ pub enum TraceEvent {
         rows_in: u64,
         rows_out: u64,
     },
+    /// The resource governor intervened: `action` is one of
+    /// `cancelled`, `resource-exhausted`, or `fault-injected`; `detail`
+    /// names the phase or fault site where it happened.
+    Governor { action: String, detail: String },
     /// The query finished with `rows` result tuples.
     QueryEnd { rows: u64, wall_ns: u64 },
 }
@@ -120,6 +124,7 @@ impl TraceEvent {
             TraceEvent::PhaseDone { .. } => "phase_done",
             TraceEvent::Parallelism { .. } => "parallelism",
             TraceEvent::Op { .. } => "op",
+            TraceEvent::Governor { .. } => "governor",
             TraceEvent::QueryEnd { .. } => "query_end",
         }
     }
@@ -220,6 +225,12 @@ impl TraceEvent {
                     ", \"wall_ns\": {wall_ns}, \"rows_in\": {rows_in}, \"rows_out\": {rows_out}"
                 ));
             }
+            TraceEvent::Governor { action, detail } => {
+                out.push_str(", \"action\": ");
+                json::write_string(&mut out, action);
+                out.push_str(", \"detail\": ");
+                json::write_string(&mut out, detail);
+            }
             TraceEvent::QueryEnd { rows, wall_ns } => {
                 out.push_str(&format!(", \"rows\": {rows}, \"wall_ns\": {wall_ns}"));
             }
@@ -304,6 +315,9 @@ impl fmt::Display for TraceEvent {
                 "• op {name}: rows {rows_in}→{rows_out} in {}",
                 fmt_ns(*wall_ns)
             ),
+            TraceEvent::Governor { action, detail } => {
+                write!(f, "⚠ governor: {action} at `{detail}`")
+            }
             TraceEvent::QueryEnd { rows, wall_ns } => {
                 write!(f, "● done: {rows} row(s) in {}", fmt_ns(*wall_ns))
             }

@@ -16,6 +16,8 @@
 //! :tables                       list tables with row counts
 //! :engine <auto|original|optimized|bottomup|pushdown|positive|baseline|oracle>
 //! :threads <n|auto>             worker budget for partition-parallel execution
+//! :timeout <ms|off>             cancel queries cooperatively after a deadline
+//! :memlimit <bytes|off>         per-query memory budget for governed allocations
 //! :explain <sql>                plan choices + the paper's tree expression
 //! :analyze <sql>                EXPLAIN ANALYZE: plan + measured stats
 //! :trace <sql>                  query-lifecycle trace (parse/bind/plan/execute)
@@ -46,6 +48,8 @@ struct Shell {
     engine: Engine,
     threads: Option<usize>,
     timing: bool,
+    timeout_ms: Option<u64>,
+    mem_limit: Option<u64>,
 }
 
 fn main() {
@@ -62,6 +66,8 @@ fn main() {
         engine: Engine::default(),
         threads: None,
         timing: false,
+        timeout_ms: None,
+        mem_limit: None,
     };
     println!("nra-cli — nested relational subquery processor (:help for commands)");
     let stdin = std::io::stdin();
@@ -189,6 +195,8 @@ impl Shell {
                 }
                 "engine" => self.cmd_engine(args),
                 "threads" => self.cmd_threads(args),
+                "timeout" => self.cmd_timeout(args),
+                "memlimit" => self.cmd_memlimit(args),
                 "explain" => self.cmd_explain(args),
                 "analyze" => {
                     let opts = self
@@ -221,13 +229,20 @@ impl Shell {
         }
     }
 
-    /// The session's standing execution options (engine + thread budget).
+    /// The session's standing execution options (engine, thread budget,
+    /// and resource limits).
     fn opts(&self) -> QueryOptions {
-        let opts = QueryOptions::new().engine(self.engine);
-        match self.threads {
-            Some(n) => opts.threads(n),
-            None => opts,
+        let mut opts = QueryOptions::new().engine(self.engine);
+        if let Some(n) = self.threads {
+            opts = opts.threads(n);
         }
+        if let Some(ms) = self.timeout_ms {
+            opts = opts.timeout_ms(ms);
+        }
+        if let Some(bytes) = self.mem_limit {
+            opts = opts.mem_limit_bytes(bytes);
+        }
+        opts
     }
 
     fn run_sql(&self, sql: &str) -> Result<(), String> {
@@ -375,6 +390,34 @@ impl Shell {
         Ok(())
     }
 
+    fn cmd_timeout(&mut self, args: &str) -> Result<(), String> {
+        if args.eq_ignore_ascii_case("off") || args.is_empty() {
+            self.timeout_ms = None;
+            println!("timeout off");
+        } else {
+            let ms: u64 = args
+                .parse()
+                .map_err(|_| ":timeout takes milliseconds or `off`".to_string())?;
+            self.timeout_ms = Some(ms);
+            println!("timeout set to {ms} ms (queries cancel cooperatively)");
+        }
+        Ok(())
+    }
+
+    fn cmd_memlimit(&mut self, args: &str) -> Result<(), String> {
+        if args.eq_ignore_ascii_case("off") || args.is_empty() {
+            self.mem_limit = None;
+            println!("memory limit off");
+        } else {
+            let bytes: u64 = args
+                .parse()
+                .map_err(|_| ":memlimit takes a byte count or `off`".to_string())?;
+            self.mem_limit = Some(bytes);
+            println!("memory limit set to {bytes} bytes per query");
+        }
+        Ok(())
+    }
+
     fn cmd_explain(&mut self, sql: &str) -> Result<(), String> {
         let out = self
             .db
@@ -402,6 +445,8 @@ const HELP: &str = "\
 :tables                       list tables with row counts
 :engine <auto|original|optimized|bottomup|pushdown|positive|baseline|oracle>
 :threads <n|auto>             worker budget for partition-parallel execution
+:timeout <ms|off>             cancel queries cooperatively after a deadline
+:memlimit <bytes|off>         per-query memory budget for governed allocations
 :explain <sql>                plan choices + the paper's tree expression
 :analyze <sql>                EXPLAIN ANALYZE: plan + measured stats
 :trace <sql>                  query-lifecycle trace (parse/bind/plan/execute)

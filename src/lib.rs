@@ -63,7 +63,8 @@ pub use nra_storage as storage;
 pub use nra_tpch as tpch;
 
 pub use nra_core::Strategy;
-use nra_engine::EngineError;
+pub use nra_engine::{CancelToken, FaultKind};
+use nra_engine::{EngineError, FaultPlan, Governor};
 use nra_sql::{BoundQuery, SqlError};
 use nra_storage::{Catalog, Column, Relation, Schema, StorageError, Table, Tuple};
 
@@ -153,6 +154,10 @@ pub struct QueryOptions {
     collect_trace: bool,
     explain_only: bool,
     simulate_io: bool,
+    mem_limit_bytes: Option<u64>,
+    timeout_ms: Option<u64>,
+    cancel: Option<CancelToken>,
+    faults: Vec<(String, u64, FaultKind)>,
 }
 
 impl QueryOptions {
@@ -210,6 +215,65 @@ impl QueryOptions {
     pub fn simulate_io(mut self, on: bool) -> QueryOptions {
         self.simulate_io = on;
         self
+    }
+
+    /// Memory budget for this call, in bytes. Governed allocations (hash
+    /// join builds, nest group buffers, sort scratch, materialized
+    /// intermediates) are charged against it; exceeding the budget fails
+    /// the query with [`engine::EngineError::ResourceExhausted`] instead
+    /// of exhausting the process. Overrides the `NRA_MEM_LIMIT`
+    /// environment variable for this call.
+    pub fn mem_limit_bytes(mut self, bytes: u64) -> QueryOptions {
+        self.mem_limit_bytes = Some(bytes);
+        self
+    }
+
+    /// Cancel the query after `ms` milliseconds (cooperatively — it stops
+    /// at the next operator checkpoint, failing with
+    /// [`engine::EngineError::Cancelled`]). `0` cancels at the first
+    /// checkpoint.
+    pub fn timeout_ms(mut self, ms: u64) -> QueryOptions {
+        self.timeout_ms = Some(ms);
+        self
+    }
+
+    /// Attach a cancellation handle: calling [`CancelToken::cancel`] from
+    /// any thread stops the query at its next checkpoint.
+    pub fn cancel(mut self, token: CancelToken) -> QueryOptions {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Arm a deterministic fault at a named execution site (see
+    /// [`engine::faultinject`]) — the test-harness API behind the
+    /// `NRA_FAULT` environment variable.
+    pub fn fault(mut self, site: impl Into<String>, nth: u64, kind: FaultKind) -> QueryOptions {
+        self.faults.push((site.into(), nth, kind));
+        self
+    }
+
+    /// The [`Governor`] these options describe (environment overlays
+    /// included); `None` when nothing is armed.
+    fn governor(&self) -> Option<Governor> {
+        let mut gov = Governor::new();
+        if let Some(bytes) = self.mem_limit_bytes {
+            gov = gov.mem_limit(bytes);
+        }
+        if let Some(ms) = self.timeout_ms {
+            gov = gov.timeout_ms(ms);
+        }
+        if let Some(token) = &self.cancel {
+            gov = gov.cancel_token(token.clone());
+        }
+        if !self.faults.is_empty() {
+            let mut plan = FaultPlan::default();
+            for (site, nth, kind) in &self.faults {
+                plan.push(site.clone(), *nth, *kind);
+            }
+            gov = gov.faults(plan);
+        }
+        let gov = gov.with_env();
+        gov.is_armed().then_some(gov)
     }
 }
 
@@ -343,13 +407,54 @@ impl Database {
             storage::iosim::enable(storage::iosim::IoConfig::default());
         }
 
-        let result = self.run_statements(sql, options.engine);
+        // Arm the query governor (memory budget / cancellation / fault
+        // plan) for the duration of the call; ungoverned queries skip the
+        // installation entirely. The catch_unwind backstop turns any panic
+        // that escapes the worker harness (e.g. an injected coordinator
+        // panic) into a structured error — the unwind runs the scope
+        // guards, so observability teardown below still balances.
+        let _gov = engine::governor::install(options.governor().map(std::sync::Arc::new));
+        // One checkpoint before any work: an already-cancelled token or a
+        // zero timeout stops even queries whose plans never reach an
+        // instrumented operator loop (e.g. a bare filtered scan).
+        let result = engine::governor::checkpoint("query-start")
+            .map_err(NraError::Engine)
+            .and_then(|()| {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.run_statements(sql, options.engine)
+                }))
+                .unwrap_or_else(|payload| {
+                    let message = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    Err(NraError::Engine(EngineError::WorkerPanicked {
+                        site: "query".to_string(),
+                        message,
+                    }))
+                })
+            });
 
         let mut profile = if options.collect_profile {
             nra_obs::disable()
         } else {
             None
         };
+        if let Some(p) = &mut profile {
+            p.outcome = Some(
+                match &result {
+                    Ok(_) => "ok",
+                    Err(NraError::Engine(EngineError::Cancelled { .. })) => "cancelled",
+                    Err(NraError::Engine(EngineError::ResourceExhausted { .. })) => {
+                        "resource-exhausted"
+                    }
+                    Err(NraError::Engine(EngineError::WorkerPanicked { .. })) => "worker-panicked",
+                    Err(_) => "error",
+                }
+                .to_string(),
+            );
+        }
         if own_io {
             storage::iosim::disable();
         }

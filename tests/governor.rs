@@ -1,0 +1,258 @@
+//! Integration tests for the query resource governor: memory budgets,
+//! cooperative cancellation, panic containment, and the deterministic
+//! fault-injection matrix — all over the paper's Query Q so the
+//! "database stays usable" half of each test checks a real answer.
+
+use nra::engine::{faultinject, EngineError};
+use nra::obs::trace::{self, RingSink, TraceEvent};
+use nra::tpch::paper_example::{rst_catalog, QUERY_Q};
+use nra::{CancelToken, Database, Engine, FaultKind, NraError, QueryOptions, Strategy};
+use nra_storage::Relation;
+
+fn paper_db() -> Database {
+    Database::from_catalog(rst_catalog())
+}
+
+fn engine_err(err: NraError) -> EngineError {
+    match err {
+        NraError::Engine(e) => e,
+        other => panic!("expected an engine error, got {other:?}"),
+    }
+}
+
+fn baseline(db: &Database, opts: &QueryOptions) -> Relation {
+    db.execute(QUERY_Q, opts).expect("clean run").rows
+}
+
+/// A budget far too small for Query Q fails with ResourceExhausted, and
+/// the same Database then answers the query correctly — both without a
+/// limit and under a generous one.
+#[test]
+fn mem_limit_fails_then_database_recovers() {
+    let db = paper_db();
+    let clean = baseline(&db, &QueryOptions::new());
+
+    let err = db
+        .execute(QUERY_Q, &QueryOptions::new().mem_limit_bytes(256))
+        .expect_err("256 bytes cannot hold Query Q's intermediates");
+    match engine_err(err) {
+        EngineError::ResourceExhausted {
+            operator,
+            requested,
+            limit,
+        } => {
+            assert!(!operator.is_empty());
+            assert!(requested > limit, "{requested} vs {limit}");
+            assert_eq!(limit, 256);
+        }
+        other => panic!("expected ResourceExhausted, got {other:?}"),
+    }
+
+    let again = baseline(&db, &QueryOptions::new());
+    assert_eq!(clean.rows(), again.rows());
+
+    let generous = baseline(&db, &QueryOptions::new().mem_limit_bytes(64 << 20));
+    assert_eq!(clean.rows(), generous.rows());
+}
+
+/// A pre-cancelled token stops the query at the first checkpoint at
+/// every thread count, and the same Database immediately runs a
+/// profiled query to completion afterwards (no leaked observability
+/// state: the later profile reports outcome "ok" with operator stats).
+#[test]
+fn cancellation_across_thread_counts() {
+    for threads in [1usize, 2, 4] {
+        let db = paper_db();
+        let token = CancelToken::new();
+        token.cancel();
+        let err = db
+            .execute(
+                QUERY_Q,
+                &QueryOptions::new()
+                    .threads(threads)
+                    .cancel(token)
+                    .collect_profile(true),
+            )
+            .expect_err("pre-cancelled token must stop the query");
+        assert!(
+            matches!(engine_err(err), EngineError::Cancelled { .. }),
+            "threads={threads}"
+        );
+
+        let out = db
+            .execute(
+                QUERY_Q,
+                &QueryOptions::new().threads(threads).collect_profile(true),
+            )
+            .expect("database stays usable after cancellation");
+        let profile = out.profile.expect("profile requested");
+        assert_eq!(profile.outcome.as_deref(), Some("ok"), "threads={threads}");
+        assert!(!profile.ops.is_empty(), "threads={threads}");
+    }
+}
+
+/// timeout_ms(0) cancels at the first checkpoint; the error names the
+/// interrupted phase and the trace carries a matching governor event.
+#[test]
+fn timeout_zero_reports_interrupted_phase_in_trace() {
+    let db = paper_db();
+    // execute() drops its own trace on error, so install a ring sink on
+    // this thread directly and read it back after the failure.
+    let (ring, handle) = RingSink::with_capacity(256);
+    trace::start(vec![Box::new(ring)]);
+    let result = db.execute(QUERY_Q, &QueryOptions::new().timeout_ms(0));
+    trace::stop();
+    let captured = handle.take();
+
+    let phase = match engine_err(result.expect_err("timeout 0 must cancel")) {
+        EngineError::Cancelled { phase } => phase,
+        other => panic!("expected Cancelled, got {other:?}"),
+    };
+    assert!(!phase.is_empty());
+    assert!(
+        captured.entries.iter().any(|e| matches!(
+            &e.event,
+            TraceEvent::Governor { action, detail }
+                if action == "cancelled" && detail == &phase
+        )),
+        "no governor-cancelled event for phase {phase:?} in {} trace entries",
+        captured.entries.len()
+    );
+}
+
+/// Every fault site × {alloc-fail, panic} × {1, 4} threads returns a
+/// structured error (never an abort), and the same Database then
+/// executes Query Q byte-identically to the pre-fault baseline. Uses
+/// the Original two-pass strategy, under which all four sites fire:
+/// hash-join build, nest flush, linking scan, and partition merge.
+#[test]
+fn fault_matrix_structured_errors_and_recovery() {
+    let db = paper_db();
+    let opts = || QueryOptions::new().engine(Engine::NestedRelational(Strategy::Original));
+    let clean = baseline(&db, &opts());
+
+    for threads in [1usize, 4] {
+        for site in faultinject::SITES {
+            for kind in [FaultKind::AllocFail, FaultKind::Panic] {
+                let err = db
+                    .execute(QUERY_Q, &opts().threads(threads).fault(site, 1, kind))
+                    .map(|out| out.rows.len())
+                    .expect_err(&format!(
+                        "fault {site}:{kind:?} at {threads} threads must surface"
+                    ));
+                let err = engine_err(err);
+                match kind {
+                    FaultKind::AllocFail => assert!(
+                        matches!(err, EngineError::ResourceExhausted { .. }),
+                        "{site}:{kind:?} threads={threads}: {err:?}"
+                    ),
+                    FaultKind::Panic => assert!(
+                        matches!(err, EngineError::WorkerPanicked { .. }),
+                        "{site}:{kind:?} threads={threads}: {err:?}"
+                    ),
+                    FaultKind::Delay(_) => unreachable!(),
+                }
+
+                let again = baseline(&db, &opts().threads(threads));
+                assert_eq!(
+                    clean.rows(),
+                    again.rows(),
+                    "result drifted after fault {site}:{kind:?} threads={threads}"
+                );
+            }
+        }
+    }
+}
+
+/// A delay fault is observable (the query still succeeds) — the knob the
+/// cancellation tests lean on for widening race windows stays wired up.
+#[test]
+fn delay_fault_does_not_change_results() {
+    let db = paper_db();
+    let clean = baseline(&db, &QueryOptions::new());
+    let delayed = baseline(
+        &db,
+        &QueryOptions::new().fault(faultinject::JOIN_BUILD, 1, FaultKind::Delay(1)),
+    );
+    assert_eq!(clean.rows(), delayed.rows());
+}
+
+/// The nest-push-down strategy (§4.2.4) hash-groups the child inline
+/// rather than calling the shared nest operator — it must charge the
+/// budget and honor fault sites all the same (regression: this path
+/// originally slipped past the governor entirely).
+#[test]
+fn pushdown_strategy_is_governed() {
+    use nra::storage::{Column, ColumnType, Value};
+    let mut db = Database::new();
+    db.create_table(
+        "p",
+        vec![
+            Column::not_null("id", ColumnType::Int),
+            Column::new("v", ColumnType::Int),
+        ],
+        &["id"],
+    )
+    .unwrap();
+    db.create_table(
+        "c",
+        vec![
+            Column::not_null("id", ColumnType::Int),
+            Column::new("pid", ColumnType::Int),
+            Column::new("w", ColumnType::Int),
+        ],
+        &["id"],
+    )
+    .unwrap();
+    db.insert(
+        "p",
+        (0..64)
+            .map(|i| vec![Value::Int(i), Value::Int(i % 7)])
+            .collect(),
+    )
+    .unwrap();
+    db.insert(
+        "c",
+        (0..256)
+            .map(|i| vec![Value::Int(i), Value::Int(i % 64), Value::Int(i % 5)])
+            .collect(),
+    )
+    .unwrap();
+    let sql = "select id from p where v > all (select w from c where c.pid = p.id)";
+    let opts = || QueryOptions::new().strategy(Strategy::BottomUpPushdown);
+
+    let clean = db.execute(sql, &opts()).expect("clean run").rows;
+
+    let err = engine_err(
+        db.execute(sql, &opts().mem_limit_bytes(512))
+            .map(|o| o.rows.len())
+            .expect_err("512 bytes cannot hold the pushed-down group map"),
+    );
+    assert!(
+        matches!(err, EngineError::ResourceExhausted { .. }),
+        "{err:?}"
+    );
+
+    for kind in [FaultKind::AllocFail, FaultKind::Panic] {
+        let err = engine_err(
+            db.execute(sql, &opts().fault(faultinject::NEST_FLUSH, 1, kind))
+                .map(|o| o.rows.len())
+                .expect_err("injected nest-flush fault must surface"),
+        );
+        match kind {
+            FaultKind::AllocFail => {
+                assert!(
+                    matches!(err, EngineError::ResourceExhausted { .. }),
+                    "{err:?}"
+                )
+            }
+            FaultKind::Panic => {
+                assert!(matches!(err, EngineError::WorkerPanicked { .. }), "{err:?}")
+            }
+            FaultKind::Delay(_) => unreachable!(),
+        }
+    }
+
+    let again = db.execute(sql, &opts()).expect("recovered run").rows;
+    assert_eq!(clean.rows(), again.rows());
+}
