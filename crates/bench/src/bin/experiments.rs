@@ -18,6 +18,18 @@
 //! * `--threads <n>` — worker budget for the partition-parallel executor
 //!   (also enables the `parallel` section: sequential vs parallel wall
 //!   time on Q2a/Q2b for the nested relational series)
+//! * `--record` — append timestamped wall-time entries for Q1/Q2A/Q2B at
+//!   1 and 4 threads to the committed trajectory file
+//!   (`crates/bench/trajectory/BENCH_TRAJECTORY.jsonl`)
+//! * `--trajectory <path>` — record/check against this file instead
+//! * `--check-trajectory` — validate the trajectory file (JSONL schema,
+//!   append-only timestamps); non-zero exit on violation
+//! * `--metrics <path>` — run the headline queries through the facade
+//!   with metrics collection and write the process-cumulative registry
+//!   as JSONL to `<path>`
+//!
+//! Passing any unknown positional (e.g. `none`) selects no figures, so
+//! `experiments --scale 0.02 --record none` runs only the recorder.
 //!
 //! Figures (paper → here):
 //!
@@ -57,6 +69,14 @@ struct Args {
     /// Worker budget for the partition-parallel executor (`--threads`;
     /// default: the `NRA_THREADS` environment variable, else 1).
     threads: Option<usize>,
+    /// Append headline wall times to the committed trajectory file.
+    record: bool,
+    /// Override the trajectory file path for `--record`/`--check-trajectory`.
+    trajectory: Option<std::path::PathBuf>,
+    /// Validate the trajectory file and exit non-zero on violation.
+    check_trajectory: bool,
+    /// Write the process-cumulative metrics registry as JSONL here.
+    metrics: Option<std::path::PathBuf>,
     figures: Vec<String>,
 }
 
@@ -70,6 +90,10 @@ fn parse_args() -> Args {
         wall_factor: baseline::Tolerance::default().wall_factor,
         trace: false,
         threads: None,
+        record: false,
+        trajectory: None,
+        check_trajectory: false,
+        metrics: None,
         figures: vec![],
     };
     let mut it = std::env::args().skip(1);
@@ -97,6 +121,22 @@ fn parse_args() -> Args {
                     .expect("--wall-factor takes a number")
             }
             "--trace" => args.trace = true,
+            "--record" => args.record = true,
+            "--trajectory" => {
+                args.trajectory = Some(
+                    it.next()
+                        .map(std::path::PathBuf::from)
+                        .expect("--trajectory takes a path"),
+                )
+            }
+            "--check-trajectory" => args.check_trajectory = true,
+            "--metrics" => {
+                args.metrics = Some(
+                    it.next()
+                        .map(std::path::PathBuf::from)
+                        .expect("--metrics takes a path"),
+                )
+            }
             "--threads" => {
                 args.threads = Some(
                     it.next()
@@ -390,6 +430,15 @@ fn main() {
     if args.trace {
         trace_query_q();
     }
+    if args.record {
+        record_trajectory(&strict, &nullable, &args);
+    }
+    if args.check_trajectory {
+        check_trajectory(&args);
+    }
+    if let Some(path) = &args.metrics {
+        write_metrics(path, &strict, &nullable, &args);
+    }
     if args.profile || args.baseline_write || args.baseline_check {
         let profiles = collect_profiles(&strict, &nullable, &args);
         if args.profile {
@@ -463,6 +512,31 @@ fn parallel_speedup(strict: &Catalog, nullable: &Catalog, args: &Args) {
     println!();
 }
 
+/// The three headline queries (largest grid point each) shared by the
+/// profile baselines, the trajectory recorder, and the metrics export.
+fn headline_queries<'a>(
+    strict: &'a Catalog,
+    nullable: &'a Catalog,
+    scale: f64,
+) -> Vec<(&'static str, &'a Catalog, String)> {
+    let grid = paper_grid(scale);
+    let q1_outer = *grid.q1_outer.last().unwrap();
+    let part = *grid.q23_part.last().unwrap();
+    vec![
+        ("Q1", nullable, q1_sql(nullable, q1_outer)),
+        (
+            "Q2A",
+            strict,
+            q2_sql(strict, Quant::Any, part, grid.q23_partsupp),
+        ),
+        (
+            "Q2B",
+            nullable,
+            q2_sql(nullable, Quant::All, part, grid.q23_partsupp),
+        ),
+    ]
+}
+
 /// Collect per-operator execution profiles for the headline queries: every
 /// series runs once under the observability collector + I/O simulator.
 fn collect_profiles(
@@ -470,38 +544,94 @@ fn collect_profiles(
     nullable: &Catalog,
     args: &Args,
 ) -> Vec<profile::QueryProfile> {
-    let grid = paper_grid(args.scale);
-    let q1_outer = *grid.q1_outer.last().unwrap();
-    let queries: Vec<(&str, &Catalog, String)> = vec![
-        ("Q1", nullable, q1_sql(nullable, q1_outer)),
-        (
-            "Q2A",
-            strict,
-            q2_sql(
-                strict,
-                Quant::Any,
-                *grid.q23_part.last().unwrap(),
-                grid.q23_partsupp,
-            ),
-        ),
-        (
-            "Q2B",
-            nullable,
-            q2_sql(
-                nullable,
-                Quant::All,
-                *grid.q23_part.last().unwrap(),
-                grid.q23_partsupp,
-            ),
-        ),
-    ];
-    queries
+    headline_queries(strict, nullable, args.scale)
         .into_iter()
         .map(|(name, cat, sql)| {
             let pq = PreparedQuery::new(cat, sql).unwrap();
             profile::QueryProfile::collect(name, &pq, args.scale)
         })
         .collect()
+}
+
+/// `--record`: time the headline queries (both nested relational series)
+/// at 1 and 4 worker threads and append the points to the wall-time
+/// trajectory file. Unlike the figure tables (simulated-I/O estimates),
+/// the trajectory records raw wall-clock seconds on the current host.
+fn record_trajectory(strict: &Catalog, nullable: &Catalog, args: &Args) {
+    let ts_unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock after the epoch")
+        .as_secs();
+    let path = args
+        .trajectory
+        .clone()
+        .unwrap_or_else(trajectory::default_path);
+    let mut entries = Vec::new();
+    for (name, cat, sql) in headline_queries(strict, nullable, args.scale) {
+        let pq = PreparedQuery::new(cat, sql).unwrap();
+        for threads in [1usize, 4] {
+            let _g = nra::engine::exec::set_threads(Some(threads));
+            for series in [Series::NrOriginal, Series::NrOptimized] {
+                let (wall_secs, rows) = pq.time(series, args.reps);
+                entries.push(trajectory::TrajectoryEntry {
+                    ts_unix,
+                    scale: args.scale,
+                    query: name.to_string(),
+                    threads,
+                    series: series.label().to_string(),
+                    reps: args.reps,
+                    wall_secs,
+                    rows,
+                });
+            }
+        }
+    }
+    trajectory::append(&path, &entries).expect("append trajectory entries");
+    println!(
+        "### Wall-time trajectory\n\n- appended {} entries to {}\n",
+        entries.len(),
+        path.display()
+    );
+}
+
+/// `--check-trajectory`: schema + append-only validation; non-zero exit
+/// on any violation so CI can gate on it.
+fn check_trajectory(args: &Args) {
+    let path = args
+        .trajectory
+        .clone()
+        .unwrap_or_else(trajectory::default_path);
+    match trajectory::validate_file(&path) {
+        Ok(entries) => println!(
+            "trajectory check passed: {} entries in {}\n",
+            entries.len(),
+            path.display()
+        ),
+        Err(e) => {
+            eprintln!("trajectory check FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `--metrics <path>`: run the headline queries through the facade with
+/// per-query metrics collection, then write the process-cumulative
+/// registry (queries, rows, operator counters, Q-error histogram) as
+/// JSONL.
+fn write_metrics(path: &std::path::Path, strict: &Catalog, nullable: &Catalog, args: &Args) {
+    for (name, cat, sql) in headline_queries(strict, nullable, args.scale) {
+        let db = nra::Database::from_catalog(cat.clone());
+        db.execute(
+            &sql,
+            &nra::QueryOptions::new()
+                .strategy(nra::Strategy::Original)
+                .collect_metrics(true),
+        )
+        .unwrap_or_else(|e| panic!("headline query {name} runs: {e}"));
+    }
+    let snapshot = nra::obs::metrics::global().snapshot();
+    std::fs::write(path, snapshot.to_jsonl()).expect("write metrics export");
+    println!("- wrote {}\n", path.display());
 }
 
 /// `--baseline-check`: exact diff on counters and I/O pages, tolerance

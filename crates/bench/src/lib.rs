@@ -13,6 +13,7 @@
 pub mod baseline;
 pub mod harness;
 pub mod profile;
+pub mod trajectory;
 
 use std::time::{Duration, Instant};
 

@@ -1,0 +1,205 @@
+//! Committed wall-time trajectory for the headline queries.
+//!
+//! `experiments --record` appends one JSONL entry per (query, threads)
+//! point to `crates/bench/trajectory/BENCH_TRAJECTORY.jsonl`, which is
+//! committed so the repo accumulates a wall-time history across hardware
+//! and revisions. Unlike the per-operator baselines (exact-counter
+//! regression gates), the trajectory is append-only observational data:
+//! CI only validates the schema and that existing entries were not
+//! rewritten.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use nra_obs::json::{self, Json};
+
+/// One recorded measurement point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryEntry {
+    /// Seconds since the Unix epoch at record time.
+    pub ts_unix: u64,
+    /// Data scale the measurement ran at.
+    pub scale: f64,
+    /// Query label (`Q1`, `Q2A`, `Q2B`).
+    pub query: String,
+    /// Worker-thread budget the point ran with.
+    pub threads: usize,
+    /// Series label (see [`crate::Series::label`]).
+    pub series: String,
+    /// Repetitions averaged into `wall_secs`.
+    pub reps: usize,
+    /// Mean wall-clock seconds per run.
+    pub wall_secs: f64,
+    /// Result cardinality (sanity check across entries).
+    pub rows: usize,
+}
+
+impl TrajectoryEntry {
+    /// Render as one JSONL line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"ts_unix\": ");
+        let _ = write!(out, "{}", self.ts_unix);
+        out.push_str(", \"scale\": ");
+        let _ = write!(out, "{}", self.scale);
+        out.push_str(", \"query\": ");
+        json::write_string(&mut out, &self.query);
+        out.push_str(", \"threads\": ");
+        let _ = write!(out, "{}", self.threads);
+        out.push_str(", \"series\": ");
+        json::write_string(&mut out, &self.series);
+        out.push_str(", \"reps\": ");
+        let _ = write!(out, "{}", self.reps);
+        out.push_str(", \"wall_secs\": ");
+        let _ = write!(out, "{:.6}", self.wall_secs);
+        out.push_str(", \"rows\": ");
+        let _ = write!(out, "{}", self.rows);
+        out.push('}');
+        out
+    }
+
+    /// Parse one JSONL line, validating the full schema.
+    pub fn parse(line: &str) -> Result<TrajectoryEntry, String> {
+        let v = Json::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
+        let field = |k: &str| v.get(k).ok_or_else(|| format!("missing field `{k}`"));
+        let num = |k: &str| -> Result<f64, String> {
+            field(k)?.as_f64().ok_or(format!("`{k}` not a number"))
+        };
+        let uint = |k: &str| -> Result<u64, String> {
+            field(k)?
+                .as_u64()
+                .ok_or(format!("`{k}` not a non-negative integer"))
+        };
+        let s = |k: &str| -> Result<String, String> {
+            Ok(field(k)?
+                .as_str()
+                .ok_or(format!("`{k}` not a string"))?
+                .to_string())
+        };
+        Ok(TrajectoryEntry {
+            ts_unix: uint("ts_unix")?,
+            scale: num("scale")?,
+            query: s("query")?,
+            threads: uint("threads")? as usize,
+            series: s("series")?,
+            reps: uint("reps")? as usize,
+            wall_secs: num("wall_secs")?,
+            rows: uint("rows")? as usize,
+        })
+    }
+}
+
+/// The committed trajectory file (inside the bench crate, so it travels
+/// with the baselines).
+pub fn default_path() -> PathBuf {
+    PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/trajectory/BENCH_TRAJECTORY.jsonl"
+    ))
+}
+
+/// Append entries to the trajectory file, creating it (and its parent
+/// directory) if needed.
+pub fn append(path: &Path, entries: &[TrajectoryEntry]) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    for e in entries {
+        writeln!(f, "{}", e.to_json())?;
+    }
+    Ok(())
+}
+
+/// Validate every line of a trajectory file: schema-correct JSONL with
+/// non-decreasing timestamps (append-only discipline). Returns the parsed
+/// entries.
+pub fn validate_file(path: &Path) -> Result<Vec<TrajectoryEntry>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut entries = Vec::new();
+    let mut last_ts = 0u64;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let entry = TrajectoryEntry::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if entry.ts_unix < last_ts {
+            return Err(format!(
+                "line {}: timestamp {} goes backwards (previous {last_ts}); \
+                 the trajectory is append-only",
+                i + 1,
+                entry.ts_unix
+            ));
+        }
+        last_ts = entry.ts_unix;
+        entries.push(entry);
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry() -> TrajectoryEntry {
+        TrajectoryEntry {
+            ts_unix: 1_754_000_000,
+            scale: 0.02,
+            query: "Q1".to_string(),
+            threads: 4,
+            series: "nr-optimized".to_string(),
+            reps: 3,
+            wall_secs: 0.001234,
+            rows: 17,
+        }
+    }
+
+    #[test]
+    fn entry_roundtrips_through_json() {
+        let e = entry();
+        assert_eq!(TrajectoryEntry::parse(&e.to_json()).unwrap(), e);
+    }
+
+    #[test]
+    fn parse_rejects_missing_fields() {
+        let err = TrajectoryEntry::parse("{\"ts_unix\": 1}").unwrap_err();
+        assert!(err.contains("missing field"), "{err}");
+    }
+
+    #[test]
+    fn validate_enforces_append_only_timestamps() {
+        let dir = std::env::temp_dir().join(format!("nra-traj-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.jsonl");
+        let mut a = entry();
+        let mut b = entry();
+        a.ts_unix = 200;
+        b.ts_unix = 100;
+        append(&path, &[a.clone(), b]).unwrap();
+        let err = validate_file(&path).unwrap_err();
+        assert!(err.contains("append-only"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+        append(&path, &[a]).unwrap();
+        assert_eq!(validate_file(&path).unwrap().len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn committed_trajectory_is_schema_valid() {
+        let path = default_path();
+        assert!(
+            path.exists(),
+            "committed trajectory file missing: {}",
+            path.display()
+        );
+        let entries = validate_file(&path).expect("committed trajectory validates");
+        assert!(
+            !entries.is_empty(),
+            "committed trajectory must hold at least one entry"
+        );
+    }
+}

@@ -33,6 +33,7 @@
 //! assert_eq!(out.len(), 1);
 //! ```
 
+pub mod cardinality;
 pub mod compute;
 pub mod linking;
 pub mod nest;
@@ -41,6 +42,7 @@ pub mod optimize;
 pub mod planner;
 pub mod tree_expr;
 
+pub use cardinality::{estimate, qerror_x100, CardEstimates};
 pub use compute::{execute_original, execute_with_style, NestStyle};
 pub use linking::{LinkCond, LinkSelection, SetQuant};
 pub use nest::{nest, nest_hash_idx, nest_sort_idx, nest_sorted};

@@ -237,12 +237,22 @@ impl TreeExpr {
     /// the outer join `b{i}/join`, and the block base `b{i}/scan`; the root
     /// scan and projection are unscoped (`scan`, `project`).
     pub fn render_plan_analyzed(&self, profile: &nra_obs::Profile) -> String {
+        self.render_plan_analyzed_with_estimates(profile, None)
+    }
+
+    /// Like [`TreeExpr::render_plan_analyzed`], additionally rendering the
+    /// planner's estimated output cardinality next to the measured one
+    /// (`est=… act=… (×err)`) when [`crate::cardinality::CardEstimates`]
+    /// are supplied — the cardinality-feedback view of `EXPLAIN ANALYZE`.
+    pub fn render_plan_analyzed_with_estimates(
+        &self,
+        profile: &nra_obs::Profile,
+        estimates: Option<&crate::cardinality::CardEstimates>,
+    ) -> String {
+        let ann = |key: &str| annotate(op_for(profile, key), estimates.and_then(|e| e.get(key)));
         let mut out = String::new();
-        out.push_str(&format!(
-            "π (root select){}\n",
-            annotate(op_for(profile, "project"))
-        ));
-        fn edges(node: &TreeNode, depth: usize, profile: &nra_obs::Profile, out: &mut String) {
+        out.push_str(&format!("π (root select){}\n", ann("project")));
+        fn edges(node: &TreeNode, depth: usize, ann: &dyn Fn(&str) -> String, out: &mut String) {
             for edge in &node.children {
                 let pad = "  ".repeat(depth);
                 let id = edge.node.id;
@@ -250,22 +260,19 @@ impl TreeExpr {
                 out.push_str(&format!(
                     "{pad}{sigma} {}{}\n",
                     edge.link,
-                    annotate(op_for(profile, &format!("b{id}/link")))
+                    ann(&format!("b{id}/link"))
                 ));
                 out.push_str(&format!(
                     "{pad}υ nest by prefix, keep T{id} columns{}\n",
-                    annotate(op_for(profile, &format!("b{id}/nest")))
+                    ann(&format!("b{id}/nest"))
                 ));
-                edges(&edge.node, depth + 1, profile, out);
+                edges(&edge.node, depth + 1, ann, out);
                 let corr = if edge.correlated.is_empty() {
                     "(uncorrelated: virtual Cartesian product)".to_string()
                 } else {
                     edge.correlated.join(" ∧ ")
                 };
-                out.push_str(&format!(
-                    "{pad}⟕ {corr}{}\n",
-                    annotate(op_for(profile, &format!("b{id}/join")))
-                ));
+                out.push_str(&format!("{pad}⟕ {corr}{}\n", ann(&format!("b{id}/join"))));
                 out.push_str(&format!(
                     "{pad}  T{id} = {}{}{}\n",
                     edge.node.tables.join(" × "),
@@ -274,11 +281,11 @@ impl TreeExpr {
                     } else {
                         format!(" | σ {}", edge.node.local.join(" ∧ "))
                     },
-                    annotate(op_for(profile, &format!("b{id}/scan")))
+                    ann(&format!("b{id}/scan"))
                 ));
             }
         }
-        edges(&self.root, 1, profile, &mut out);
+        edges(&self.root, 1, &ann, &mut out);
         out.push_str(&format!(
             "  T{} = {}{}{}\n",
             self.root.id,
@@ -288,7 +295,7 @@ impl TreeExpr {
             } else {
                 format!(" | σ {}", self.root.local.join(" ∧ "))
             },
-            annotate(op_for(profile, "scan"))
+            ann("scan")
         ));
         out
     }
@@ -324,8 +331,11 @@ fn fmt_ns(ns: u64) -> String {
     }
 }
 
-/// The parenthesized annotation appended to a plan node.
-fn annotate(stats: Option<nra_obs::OpStats>) -> String {
+/// The parenthesized annotation appended to a plan node. The estimated
+/// cardinality (when the planner supplied one) renders last, as
+/// `est=… act=… (×err)` with the node's Q-error, so the leading
+/// `rows=…, time` fields keep their positions.
+fn annotate(stats: Option<nra_obs::OpStats>, est: Option<u64>) -> String {
     let Some(s) = stats else {
         return "  (not executed)".to_string();
     };
@@ -347,6 +357,14 @@ fn annotate(stats: Option<nra_obs::OpStats>) -> String {
     }
     if s.padded > 0 {
         parts.push(format!("padded={}", s.padded));
+    }
+    if let Some(e) = est {
+        let q = crate::cardinality::qerror_x100(e, s.rows_out);
+        parts.push(format!(
+            "est={e} act={} (×{:.1})",
+            s.rows_out,
+            q as f64 / 100.0
+        ));
     }
     format!("  ({})", parts.join(", "))
 }

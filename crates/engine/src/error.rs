@@ -45,6 +45,21 @@ impl EngineError {
     pub fn unsupported(msg: impl Into<String>) -> EngineError {
         EngineError::Unsupported(msg.into())
     }
+
+    /// Stable kebab-case variant name, used as the `variant` label on the
+    /// `nra_errors_total` metric (and matching the profile `outcome`
+    /// vocabulary where the two overlap).
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            EngineError::Column(_) => "column",
+            EngineError::Unsupported(_) => "unsupported",
+            EngineError::ResourceExhausted { .. } => "resource-exhausted",
+            EngineError::Cancelled { .. } => "cancelled",
+            EngineError::WorkerPanicked { .. } => "worker-panicked",
+            EngineError::Storage(_) => "storage",
+            EngineError::Sql(_) => "sql",
+        }
+    }
 }
 
 impl fmt::Display for EngineError {

@@ -263,6 +263,13 @@ fn charge_armed(site: &str, bytes: u64) -> Result<(), EngineError> {
                 action: "resource-exhausted".into(),
                 detail: format!("{site} (used {total} of {limit} bytes)"),
             });
+            nra_obs::metrics::both(|m| {
+                m.counter_add(
+                    "nra_governor_interventions_total",
+                    &[("action", "resource-exhausted")],
+                    1,
+                )
+            });
             return Err(EngineError::ResourceExhausted {
                 operator: site.to_string(),
                 requested: bytes,
@@ -308,6 +315,13 @@ fn checkpoint_armed(phase: &str) -> Result<(), EngineError> {
                 action: "cancelled".into(),
                 detail: phase.to_string(),
             });
+            nra_obs::metrics::both(|m| {
+                m.counter_add(
+                    "nra_governor_interventions_total",
+                    &[("action", "cancelled")],
+                    1,
+                )
+            });
             return Err(EngineError::Cancelled {
                 phase: phase.to_string(),
             });
@@ -331,7 +345,17 @@ pub(crate) fn observe_fault(site: &str) -> Result<(), EngineError> {
         let Some(g) = cur.as_ref() else {
             return Ok(());
         };
-        g.faults.observe(site, g.mem_limit.unwrap_or(0))
+        let r = g.faults.observe(site, g.mem_limit.unwrap_or(0));
+        if r.is_err() {
+            nra_obs::metrics::both(|m| {
+                m.counter_add(
+                    "nra_governor_interventions_total",
+                    &[("action", "fault-injected")],
+                    1,
+                )
+            });
+        }
+        r
     })
 }
 

@@ -31,6 +31,7 @@
 //! stats and the simulated disk story.
 
 pub mod json;
+pub mod metrics;
 pub mod trace;
 
 use std::cell::RefCell;
@@ -419,6 +420,10 @@ impl Drop for Span {
 pub struct Handoff {
     collecting: bool,
     scope: Option<String>,
+    /// The parent's per-query metrics registry, shared by reference: worker
+    /// threads record into the same `Arc`'d registry, and every metric
+    /// operation commutes, so the result is thread-count-invariant.
+    query_metrics: Option<std::sync::Arc<metrics::Registry>>,
 }
 
 impl Handoff {
@@ -427,13 +432,17 @@ impl Handoff {
         Handoff {
             collecting: is_enabled(),
             scope: SCOPES.with(|s| s.borrow().last().cloned()),
+            query_metrics: metrics::query_registry(),
         }
     }
 
     /// Run `f` on the current (worker) thread. When the parent was
     /// collecting, a fresh collector and the parent's scope are installed
-    /// for the duration and the worker's profile is handed back.
+    /// for the duration and the worker's profile is handed back. The
+    /// parent's per-query metrics registry (if any) is installed either
+    /// way.
     pub fn run<T>(&self, f: impl FnOnce() -> T) -> (T, Option<Profile>) {
+        let _metrics = metrics::install_query(self.query_metrics.clone());
         if !self.collecting {
             return (f(), None);
         }

@@ -103,10 +103,21 @@ pub enum TraceEvent {
         rows_in: u64,
         rows_out: u64,
     },
-    /// The resource governor intervened: `action` is one of
-    /// `cancelled`, `resource-exhausted`, or `fault-injected`; `detail`
-    /// names the phase or fault site where it happened.
+    /// The resource governor intervened or reported: `action` is one of
+    /// `cancelled`, `resource-exhausted`, `fault-injected`, or
+    /// `mem-high-water` (the per-query memory high-water mark, emitted
+    /// once at query end for every governed query); `detail` names the
+    /// phase or fault site where it happened, or carries the byte count.
     Governor { action: String, detail: String },
+    /// Per-query cardinality-feedback summary: over the `nodes` plan
+    /// nodes with both an estimate and a measured actual, the maximum and
+    /// mean Q-error (`max(est/act, act/est)`, scaled by 100 — a perfect
+    /// plan scores 100/100).
+    QErrorSummary {
+        nodes: usize,
+        max_x100: u64,
+        mean_x100: u64,
+    },
     /// The query finished with `rows` result tuples.
     QueryEnd { rows: u64, wall_ns: u64 },
 }
@@ -125,6 +136,7 @@ impl TraceEvent {
             TraceEvent::Parallelism { .. } => "parallelism",
             TraceEvent::Op { .. } => "op",
             TraceEvent::Governor { .. } => "governor",
+            TraceEvent::QErrorSummary { .. } => "qerror_summary",
             TraceEvent::QueryEnd { .. } => "query_end",
         }
     }
@@ -231,6 +243,15 @@ impl TraceEvent {
                 out.push_str(", \"detail\": ");
                 json::write_string(&mut out, detail);
             }
+            TraceEvent::QErrorSummary {
+                nodes,
+                max_x100,
+                mean_x100,
+            } => {
+                out.push_str(&format!(
+                    ", \"nodes\": {nodes}, \"max_x100\": {max_x100}, \"mean_x100\": {mean_x100}"
+                ));
+            }
             TraceEvent::QueryEnd { rows, wall_ns } => {
                 out.push_str(&format!(", \"rows\": {rows}, \"wall_ns\": {wall_ns}"));
             }
@@ -318,6 +339,16 @@ impl fmt::Display for TraceEvent {
             TraceEvent::Governor { action, detail } => {
                 write!(f, "⚠ governor: {action} at `{detail}`")
             }
+            TraceEvent::QErrorSummary {
+                nodes,
+                max_x100,
+                mean_x100,
+            } => write!(
+                f,
+                "· q-error: {nodes} node(s), max ×{:.1}, mean ×{:.1}",
+                *max_x100 as f64 / 100.0,
+                *mean_x100 as f64 / 100.0
+            ),
             TraceEvent::QueryEnd { rows, wall_ns } => {
                 write!(f, "● done: {rows} row(s) in {}", fmt_ns(*wall_ns))
             }

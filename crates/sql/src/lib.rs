@@ -25,4 +25,4 @@ pub use binder::{bind, parse_and_bind};
 pub use block::{BoundQuery, BoundTable, LinkOp, QueryBlock, SubqueryEdge};
 pub use bound::{BExpr, BPred};
 pub use error::SqlError;
-pub use parser::{parse, parse_query};
+pub use parser::{parse, parse_analyze, parse_query, parse_statement, Statement};

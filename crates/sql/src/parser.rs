@@ -98,6 +98,44 @@ pub fn parse_query(input: &str) -> Result<Query, SqlError> {
     })
 }
 
+/// A top-level SQL statement: either a query or a utility statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Query(Box<Query>),
+    /// `ANALYZE <table>` — gather row count, per-column NDV and null
+    /// counts into the catalog for the planner's cardinality estimates.
+    Analyze {
+        table: String,
+    },
+}
+
+/// Parse `ANALYZE <table> [;]` if the input is an ANALYZE statement,
+/// returning the table name; `Ok(None)` when the input starts with
+/// anything else (so query parsing — and its trace events — run exactly
+/// once for regular queries).
+pub fn parse_analyze(input: &str) -> Result<Option<String>, SqlError> {
+    let tokens = lex(input)?;
+    if tokens.first().map(|t| &t.kind) != Some(&TokenKind::Keyword(Keyword::Analyze)) {
+        return Ok(None);
+    }
+    let mut p = Parser { tokens, pos: 0 };
+    p.expect_keyword(Keyword::Analyze)?;
+    let table = p.ident()?;
+    if p.peek_kind() == &TokenKind::Semicolon {
+        p.advance();
+    }
+    p.expect(TokenKind::Eof)?;
+    Ok(Some(table))
+}
+
+/// Parse a full statement: `ANALYZE <table>` or a query.
+pub fn parse_statement(input: &str) -> Result<Statement, SqlError> {
+    match parse_analyze(input)? {
+        Some(table) => Ok(Statement::Analyze { table }),
+        None => Ok(Statement::Query(Box::new(parse_query(input)?))),
+    }
+}
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
@@ -735,6 +773,29 @@ mod tests {
         assert!(parse("select a from t where a = 1 1").is_err());
         // `from t extra` is legal (alias without AS)
         assert!(parse("select a from t extra").is_ok());
+    }
+
+    #[test]
+    fn analyze_statement_parses() {
+        assert_eq!(
+            parse_analyze("analyze orders").unwrap(),
+            Some("orders".to_string())
+        );
+        assert_eq!(
+            parse_analyze("ANALYZE Orders;").unwrap(),
+            Some("orders".to_string())
+        );
+        assert_eq!(parse_analyze("select a from t").unwrap(), None);
+        assert!(parse_analyze("analyze").is_err());
+        assert!(parse_analyze("analyze t extra").is_err());
+        match parse_statement("analyze t").unwrap() {
+            Statement::Analyze { table } => assert_eq!(table, "t"),
+            other => panic!("not an ANALYZE: {other:?}"),
+        }
+        assert!(matches!(
+            parse_statement("select a from t").unwrap(),
+            Statement::Query(_)
+        ));
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub enum Keyword {
     Asc,
     Desc,
     Limit,
+    Analyze,
 }
 
 impl Keyword {
@@ -65,6 +66,7 @@ impl Keyword {
             "asc" => Keyword::Asc,
             "desc" => Keyword::Desc,
             "limit" => Keyword::Limit,
+            "analyze" => Keyword::Analyze,
             _ => return None,
         })
     }

@@ -4,16 +4,44 @@
 //! indexes. The catalog is what the SQL binder resolves `FROM` items
 //! against, and what the baseline executor probes indexes on.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::RwLock;
 
 use crate::error::StorageError;
 use crate::index::{HashIndex, OrderedIndex};
 use crate::relation::Relation;
 use crate::schema::Schema;
-use crate::tuple::Tuple;
+use crate::tuple::{GroupKey, Tuple};
+use crate::value::Value;
+
+/// Per-column statistics gathered by [`Table::analyze`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnStats {
+    pub name: String,
+    /// Number of distinct non-null values.
+    pub ndv: u64,
+    /// Number of NULLs.
+    pub null_count: u64,
+}
+
+/// Table-level statistics gathered by [`Table::analyze`] — the input to
+/// the planner's cardinality estimates (selectivity `1/ndv` for equality
+/// predicates, null fraction for `IS NULL`, row counts for scans).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableStats {
+    pub row_count: u64,
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Stats for the named column, if present.
+    pub fn column(&self, name: &str) -> Option<&ColumnStats> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+}
 
 /// A named base table with optional primary key and secondary indexes.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Table {
     name: String,
     data: Relation,
@@ -21,6 +49,23 @@ pub struct Table {
     primary_key: Vec<usize>,
     hash_indexes: Vec<HashIndex>,
     ordered_indexes: Vec<OrderedIndex>,
+    /// Statistics from the last `ANALYZE`, if any. Interior-mutable so
+    /// `ANALYZE` can run through the shared-catalog query path; inserts
+    /// invalidate it like they invalidate indexes.
+    stats: RwLock<Option<TableStats>>,
+}
+
+impl Clone for Table {
+    fn clone(&self) -> Table {
+        Table {
+            name: self.name.clone(),
+            data: self.data.clone(),
+            primary_key: self.primary_key.clone(),
+            hash_indexes: self.hash_indexes.clone(),
+            ordered_indexes: self.ordered_indexes.clone(),
+            stats: RwLock::new(self.stats.read().unwrap_or_else(|e| e.into_inner()).clone()),
+        }
+    }
 }
 
 impl Table {
@@ -31,6 +76,7 @@ impl Table {
             primary_key: vec![],
             hash_indexes: vec![],
             ordered_indexes: vec![],
+            stats: RwLock::new(None),
         }
     }
 
@@ -78,6 +124,7 @@ impl Table {
         self.data.push(row)?;
         self.hash_indexes.clear();
         self.ordered_indexes.clear();
+        self.invalidate_stats();
         Ok(())
     }
 
@@ -90,7 +137,49 @@ impl Table {
         }
         self.hash_indexes.clear();
         self.ordered_indexes.clear();
+        self.invalidate_stats();
         Ok(())
+    }
+
+    fn invalidate_stats(&self) {
+        *self.stats.write().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+
+    /// Gather row count, per-column NDV and null counts (the `ANALYZE`
+    /// statement), store them on the table, and return a copy. Fully
+    /// deterministic — re-running over unchanged data yields identical
+    /// stats — and idempotent.
+    pub fn analyze(&self) -> TableStats {
+        let schema = self.data.schema();
+        let mut columns = Vec::with_capacity(schema.len());
+        for (i, col) in schema.columns().iter().enumerate() {
+            let mut distinct: HashSet<GroupKey> = HashSet::new();
+            let mut null_count = 0u64;
+            for row in self.data.rows() {
+                match &row[i] {
+                    Value::Null => null_count += 1,
+                    v => {
+                        distinct.insert(GroupKey(vec![v.clone()]));
+                    }
+                }
+            }
+            columns.push(ColumnStats {
+                name: col.name.clone(),
+                ndv: distinct.len() as u64,
+                null_count,
+            });
+        }
+        let stats = TableStats {
+            row_count: self.data.len() as u64,
+            columns,
+        };
+        *self.stats.write().unwrap_or_else(|e| e.into_inner()) = Some(stats.clone());
+        stats
+    }
+
+    /// Statistics from the last [`Table::analyze`], if still valid.
+    pub fn stats(&self) -> Option<TableStats> {
+        self.stats.read().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
     /// Get (building if absent) a hash index on the named columns.
@@ -242,6 +331,31 @@ mod tests {
             Err(StorageError::UnknownTable(_))
         ));
         assert_eq!(c.table_names(), vec!["t"]);
+    }
+
+    #[test]
+    fn analyze_is_idempotent_and_invalidated_by_insert() {
+        let mut t = table();
+        assert!(t.stats().is_none(), "no stats before ANALYZE");
+        let s1 = t.analyze();
+        assert_eq!(s1.row_count, 2);
+        assert_eq!(s1.column("id").unwrap().ndv, 2);
+        assert_eq!(s1.column("v").unwrap().ndv, 1);
+        assert_eq!(s1.column("v").unwrap().null_count, 1);
+        let s2 = t.analyze();
+        assert_eq!(s1, s2, "ANALYZE is idempotent over unchanged data");
+        assert_eq!(t.stats(), Some(s2));
+        t.insert(vec![Value::Int(3), Value::Int(30)]).unwrap();
+        assert!(t.stats().is_none(), "insert invalidates stats");
+        assert_eq!(t.analyze().row_count, 3);
+    }
+
+    #[test]
+    fn clone_carries_stats() {
+        let t = table();
+        t.analyze();
+        let c = t.clone();
+        assert_eq!(c.stats(), t.stats());
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod tuple;
 pub mod value;
 
 pub use agg::{aggregate, AggFunc};
-pub use catalog::{Catalog, Table};
+pub use catalog::{Catalog, ColumnStats, Table, TableStats};
 pub use error::StorageError;
 pub use relation::Relation;
 pub use schema::{Column, ColumnType, Schema};

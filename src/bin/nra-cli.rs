@@ -21,9 +21,13 @@
 //! :explain <sql>                plan choices + the paper's tree expression
 //! :analyze <sql>                EXPLAIN ANALYZE: plan + measured stats
 //! :trace <sql>                  query-lifecycle trace (parse/bind/plan/execute)
+//! :metrics                      process-cumulative metrics (Prometheus text)
 //! :timing on|off                print execution time per query
 //! :quit
 //! ```
+//!
+//! `ANALYZE <table>` (plain SQL, no colon) gathers per-column statistics
+//! for the planner's cardinality estimator.
 //!
 //! Batch mode (non-interactive, for scripts and CI):
 //!
@@ -217,6 +221,15 @@ impl Shell {
                     println!("-- {} row(s)", out.rows.len());
                     Ok(())
                 }
+                "metrics" => {
+                    let snap = nra::obs::metrics::global().snapshot();
+                    if snap.is_empty() {
+                        println!("(no metrics recorded yet — run some queries first)");
+                    } else {
+                        print!("{}", snap.render_prometheus());
+                    }
+                    Ok(())
+                }
                 "timing" => {
                     self.timing = args.eq_ignore_ascii_case("on");
                     println!("timing {}", if self.timing { "on" } else { "off" });
@@ -249,7 +262,12 @@ impl Shell {
         let start = Instant::now();
         let out = self.db.execute(sql, &self.opts()).map_err(err)?;
         let elapsed = start.elapsed();
-        println!("{}", out.rows);
+        // Catalog statements (`ANALYZE <table>`) return a summary instead
+        // of rows; plain queries never set `plan` without a profile.
+        match &out.plan {
+            Some(plan) => print!("{plan}"),
+            None => println!("{}", out.rows),
+        }
         if self.timing {
             println!("({elapsed:.2?})");
         }
@@ -450,6 +468,7 @@ const HELP: &str = "\
 :explain <sql>                plan choices + the paper's tree expression
 :analyze <sql>                EXPLAIN ANALYZE: plan + measured stats
 :trace <sql>                  query-lifecycle trace (parse/bind/plan/execute)
+:metrics                      process-cumulative metrics (Prometheus text)
 :timing on|off                print execution time per query
 :quit                         exit
 anything else                 executed as SQL";

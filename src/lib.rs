@@ -151,6 +151,7 @@ pub struct QueryOptions {
     engine: Engine,
     threads: Option<usize>,
     collect_profile: bool,
+    collect_metrics: bool,
     collect_trace: bool,
     explain_only: bool,
     simulate_io: bool,
@@ -192,6 +193,19 @@ impl QueryOptions {
     /// (the `EXPLAIN ANALYZE` text).
     pub fn collect_profile(mut self, on: bool) -> QueryOptions {
         self.collect_profile = on;
+        self
+    }
+
+    /// Collect per-query metrics into a dedicated registry scope;
+    /// [`QueryOutcome::metrics`] is then a [`obs::metrics::Snapshot`] of
+    /// everything the call recorded (operator counters, rows produced,
+    /// outcome, Q-error histogram). The per-query scope deliberately
+    /// excludes wall-clock times and partition counts, so the snapshot is
+    /// byte-identical at any thread count. The same scope is also
+    /// populated (and appended as JSONL) when the `NRA_METRICS=path`
+    /// environment variable is set, independent of this option.
+    pub fn collect_metrics(mut self, on: bool) -> QueryOptions {
+        self.collect_metrics = on;
         self
     }
 
@@ -289,6 +303,10 @@ pub struct QueryOutcome {
     pub plan: Option<String>,
     /// Per-operator statistics, when requested.
     pub profile: Option<obs::Profile>,
+    /// Snapshot of the per-query metrics scope, when requested via
+    /// [`QueryOptions::collect_metrics`] (or the `NRA_METRICS`
+    /// environment variable). Thread-count-invariant by construction.
+    pub metrics: Option<obs::metrics::Snapshot>,
     /// The captured lifecycle trace, when requested.
     pub trace: Option<obs::trace::Trace>,
     /// The worker-thread budget the call ran with (1 = sequential).
@@ -374,17 +392,36 @@ impl Database {
             .map(|n| nra_engine::exec::set_threads(Some(n)));
         let threads = nra_engine::exec::threads();
 
+        // `ANALYZE <table>` is a catalog statement, not a query: gather
+        // column statistics (NDV, null counts) for the planner's
+        // cardinality estimator and return the summary as plan text.
+        if let Some(table) = nra_sql::parse_analyze(sql)? {
+            return self.run_analyze(&table, threads);
+        }
+
         if options.explain_only {
             return Ok(QueryOutcome {
                 rows: Relation::new(Schema::new(Vec::new())),
                 plan: Some(self.explain_text(sql)?),
                 profile: None,
+                metrics: None,
                 trace: None,
                 threads,
             });
         }
 
+        use nra_obs::metrics;
         use nra_obs::trace::{self, TraceEvent};
+
+        // Per-query metrics scope: a fresh registry installed on this
+        // thread (and handed to every worker through the observability
+        // handoff). The process-cumulative registry keeps accumulating
+        // regardless.
+        let metrics_env = std::env::var("NRA_METRICS").ok().filter(|p| !p.is_empty());
+        let query_metrics = (options.collect_metrics || metrics_env.is_some())
+            .then(|| std::sync::Arc::new(metrics::Registry::new()));
+        let _metrics_guard = metrics::install_query(query_metrics.clone());
+
         let trace_handle = if options.collect_trace {
             let (ring, handle) = trace::RingSink::with_capacity(4096);
             let mut sinks: Vec<Box<dyn trace::TraceSink>> = vec![Box::new(ring)];
@@ -399,7 +436,13 @@ impl Database {
         };
         let started = std::time::Instant::now();
 
-        if options.collect_profile {
+        // Per-operator stats feed `outcome.profile`, the derived per-query
+        // metrics, and the Q-error actuals behind the trace's
+        // `qerror_summary` event, so the collector runs when any of the
+        // three is wanted.
+        let want_profile =
+            options.collect_profile || query_metrics.is_some() || options.collect_trace;
+        if want_profile {
             nra_obs::enable();
         }
         let own_io = options.simulate_io && !storage::iosim::is_enabled();
@@ -413,7 +456,8 @@ impl Database {
         // that escapes the worker harness (e.g. an injected coordinator
         // panic) into a structured error — the unwind runs the scope
         // guards, so observability teardown below still balances.
-        let _gov = engine::governor::install(options.governor().map(std::sync::Arc::new));
+        let gov_arc = options.governor().map(std::sync::Arc::new);
+        let gov_guard = engine::governor::install(gov_arc.clone());
         // One checkpoint before any work: an already-cancelled token or a
         // zero timeout stops even queries whose plans never reach an
         // instrumented operator loop (e.g. a bare filtered scan).
@@ -436,7 +480,7 @@ impl Database {
                 })
             });
 
-        let mut profile = if options.collect_profile {
+        let mut profile = if want_profile {
             nra_obs::disable()
         } else {
             None
@@ -454,10 +498,79 @@ impl Database {
                 }
                 .to_string(),
             );
+            p.threads = threads;
         }
         if own_io {
             storage::iosim::disable();
         }
+
+        // Governor teardown: dropping the guard flushes worker-pending
+        // charges into the governor, after which `mem_used()` is the
+        // query's memory high-water mark. Publish it as a trace event and
+        // a process-level gauge so the two always agree. (It stays out of
+        // the per-query scope: charge interleaving makes the peak
+        // scheduling-dependent.)
+        drop(gov_guard);
+        if let Some(gov) = &gov_arc {
+            let hw = gov.mem_used();
+            trace::emit(|| TraceEvent::Governor {
+                action: "mem-high-water".to_string(),
+                detail: format!("{hw} bytes"),
+            });
+            metrics::global().gauge_max("nra_query_mem_high_water_bytes", &[], hw);
+        }
+
+        // Cardinality feedback: planner estimates vs. measured actuals,
+        // summarized as the per-node Q-error (×100; 100 = perfect).
+        let estimates = match (&profile, &result) {
+            (Some(_), Ok((_, Some(bound)))) => Some(nra_core::estimate(bound, &self.catalog)),
+            _ => None,
+        };
+        if let (Some(p), Some(est)) = (&profile, &estimates) {
+            let mut qerrs = Vec::new();
+            for (key, e) in est.iter() {
+                if let Some(act) = merged_rows_out(p, key) {
+                    qerrs.push(nra_core::qerror_x100(e, act));
+                }
+            }
+            if !qerrs.is_empty() {
+                let max_x100 = qerrs.iter().copied().max().unwrap_or(100);
+                let mean_x100 = qerrs.iter().sum::<u64>() / qerrs.len() as u64;
+                let nodes = qerrs.len();
+                trace::emit(|| TraceEvent::QErrorSummary {
+                    nodes,
+                    max_x100,
+                    mean_x100,
+                });
+                metrics::both(|m| {
+                    for q in &qerrs {
+                        m.observe("nra_qerror_x100", &[], *q);
+                    }
+                });
+            }
+        }
+
+        // Query-level counters, recorded in both scopes. Everything here
+        // is derived from the merged profile or the result, never from
+        // scheduling, so the per-query scope stays thread-invariant.
+        let outcome_label = match &result {
+            Ok(_) => "ok",
+            Err(NraError::Engine(e)) => e.variant_name(),
+            Err(NraError::Storage(_)) => "storage",
+            Err(NraError::Sql(_)) => "sql",
+        };
+        metrics::both(|m| m.counter_add("nra_queries_total", &[("outcome", outcome_label)], 1));
+        if result.is_err() {
+            metrics::both(|m| m.counter_add("nra_errors_total", &[("variant", outcome_label)], 1));
+        }
+        if let Ok((rel, _)) = &result {
+            let produced = rel.len() as u64;
+            metrics::both(|m| m.counter_add("nra_rows_produced_total", &[], produced));
+        }
+        if let Some(p) = &profile {
+            metrics::both(|m| record_op_metrics(m, p));
+        }
+
         let trace = trace_handle.map(|handle| {
             if let Ok((rel, _)) = &result {
                 let rows = rel.len() as u64;
@@ -470,10 +583,22 @@ impl Database {
             handle.take()
         });
 
-        let (rows, bound) = result?;
-        if let Some(p) = &mut profile {
-            p.threads = threads;
+        // Snapshot the per-query scope (it is torn down when
+        // `_metrics_guard` drops) and feed the environment sink, on the
+        // error path too — failed queries are exactly when telemetry
+        // matters.
+        let metrics_snapshot = query_metrics.as_ref().map(|r| r.snapshot());
+        if let (Some(path), Some(snap)) = (&metrics_env, &metrics_snapshot) {
+            use std::io::Write;
+            let _ = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .and_then(|mut f| f.write_all(snap.to_jsonl().as_bytes()));
         }
+
+        let (rows, bound) = result?;
+        let profile = profile.filter(|_| options.collect_profile);
 
         // The analyzed plan is rendered only when the executed pipeline
         // matches the textbook operator tree node for node: Algorithm 1
@@ -482,7 +607,7 @@ impl Database {
         let plan = match (&profile, &bound, options.engine) {
             (Some(p), Some(b), Engine::NestedRelational(Strategy::Original)) => {
                 let tree = nra_core::TreeExpr::build(b);
-                let mut out = tree.render_plan_analyzed(p);
+                let mut out = tree.render_plan_analyzed_with_estimates(p, estimates.as_ref());
                 out.push_str(&format!(
                     "-- {} row(s); total operator time {:.3} ms\n",
                     rows.len(),
@@ -503,7 +628,31 @@ impl Database {
             rows,
             plan,
             profile,
+            metrics: metrics_snapshot,
             trace,
+            threads,
+        })
+    }
+
+    /// `ANALYZE <table>`: recompute per-column statistics (distinct-value
+    /// and null counts) used by the cardinality estimator, returning the
+    /// summary as plan text.
+    fn run_analyze(&self, table: &str, threads: usize) -> Result<QueryOutcome, NraError> {
+        let stats = self.catalog.table(table)?.analyze();
+        nra_obs::metrics::both(|m| m.counter_add("nra_analyze_total", &[("table", table)], 1));
+        let mut plan = format!("analyze {table}: {} row(s)\n", stats.row_count);
+        for col in &stats.columns {
+            plan.push_str(&format!(
+                "  {}: ndv={} nulls={}\n",
+                col.name, col.ndv, col.null_count
+            ));
+        }
+        Ok(QueryOutcome {
+            rows: Relation::new(Schema::new(Vec::new())),
+            plan: Some(plan),
+            profile: None,
+            metrics: None,
+            trace: None,
             threads,
         })
     }
@@ -615,63 +764,56 @@ impl Database {
             "nested relational: {nr}; baseline (System A): {baseline}{suffix}"
         ))
     }
+}
 
-    /// Execute with the default engine (nested relational, auto strategy).
-    #[deprecated(note = "use `execute(sql, &QueryOptions::new())` and read `.rows`")]
-    pub fn query(&self, sql: &str) -> Result<Relation, NraError> {
-        Ok(self.execute(sql, &QueryOptions::new())?.rows)
+/// Sum of `rows_out` over every profile entry matching `prefix` exactly
+/// or with a `[kind]` suffix (`b2/nest` matches `b2/nest[sort]`); `None`
+/// when nothing matched — the estimator may cover nodes an optimized
+/// pipeline fused away.
+fn merged_rows_out(profile: &obs::Profile, prefix: &str) -> Option<u64> {
+    let mut acc: Option<u64> = None;
+    for (name, stats) in &profile.ops {
+        let matches =
+            name == prefix || (name.starts_with(prefix) && name[prefix.len()..].starts_with('['));
+        if matches {
+            *acc.get_or_insert(0) += stats.rows_out;
+        }
     }
+    acc
+}
 
-    /// Execute with an explicit engine.
-    #[deprecated(note = "use `execute` with `QueryOptions::new().engine(engine)`")]
-    pub fn query_with(&self, sql: &str, engine: Engine) -> Result<Relation, NraError> {
-        Ok(self.execute(sql, &QueryOptions::new().engine(engine))?.rows)
-    }
-
-    /// Execute a prepared query.
-    #[deprecated(note = "prepare/run is folded into `execute`; use \
-                         `execute` with `QueryOptions::new().engine(engine)`")]
-    pub fn run(&self, query: &BoundQuery, engine: Engine) -> Result<Relation, NraError> {
-        self.run_bound(query, engine)
-    }
-
-    /// A one-line description of the plan each engine would use.
-    #[deprecated(note = "use `execute` with `QueryOptions::new().explain_only(true)` \
-                         and read `.plan`")]
-    pub fn explain(&self, sql: &str) -> Result<String, NraError> {
-        Ok(self
-            .execute(sql, &QueryOptions::new().explain_only(true))?
-            .plan
-            .expect("explain_only always sets plan"))
-    }
-
-    /// `EXPLAIN ANALYZE`: execute under the observability collector and
-    /// render the Algorithm 1 plan with measured per-operator statistics.
-    #[deprecated(note = "use `execute` with `QueryOptions::new()\
-                         .strategy(Strategy::Original).collect_profile(true)\
-                         .simulate_io(true)` and read `.plan`")]
-    pub fn explain_analyze(&self, sql: &str) -> Result<String, NraError> {
-        let opts = QueryOptions::new()
-            .strategy(Strategy::Original)
-            .collect_profile(true)
-            .simulate_io(true);
-        self.execute(sql, &opts)?.plan.ok_or_else(|| {
-            NraError::Sql(SqlError::bind(
-                "EXPLAIN ANALYZE renders a plan for single SELECT statements only",
-            ))
-        })
-    }
-
-    /// Execute `sql` with query-lifecycle tracing and return both the
-    /// result and the captured trace.
-    #[deprecated(note = "use `execute` with `QueryOptions::new().collect_trace(true)` \
-                         and read `.rows` / `.trace`")]
-    pub fn trace_query(&self, sql: &str) -> Result<(Relation, obs::trace::Trace), NraError> {
-        let out = self.execute(sql, &QueryOptions::new().collect_trace(true))?;
-        Ok((
-            out.rows,
-            out.trace.expect("collect_trace always sets trace"),
-        ))
+/// Project a merged profile into per-operator metric counters.
+///
+/// Wall times and partition counts stay out deliberately: every counter
+/// recorded here is identical at any thread count, which is what makes
+/// the per-query metrics scope deterministic.
+fn record_op_metrics(reg: &obs::metrics::Registry, profile: &obs::Profile) {
+    for (name, s) in &profile.ops {
+        let labels = [("op", name.as_str())];
+        reg.counter_add("nra_op_invocations_total", &labels, s.invocations);
+        reg.counter_add("nra_op_rows_in_total", &labels, s.rows_in);
+        reg.counter_add("nra_op_rows_out_total", &labels, s.rows_out);
+        if s.hash_entries > 0 {
+            reg.counter_add("nra_op_hash_entries_total", &labels, s.hash_entries);
+        }
+        if s.hash_bytes > 0 {
+            reg.counter_add("nra_op_hash_bytes_total", &labels, s.hash_bytes);
+        }
+        if s.nest_groups > 0 {
+            reg.counter_add("nra_op_nest_groups_total", &labels, s.nest_groups);
+        }
+        if s.padded > 0 {
+            reg.counter_add("nra_op_padded_total", &labels, s.padded);
+        }
+        for (count, outcome) in [(s.pass, "pass"), (s.fail, "fail"), (s.unknown, "unknown")] {
+            if count > 0 {
+                reg.counter_add(
+                    "nra_op_link_outcomes_total",
+                    &[("op", name.as_str()), ("outcome", outcome)],
+                    count,
+                );
+            }
+        }
     }
 }
 
@@ -766,19 +908,36 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shims_still_answer() {
-        #![allow(deprecated)]
+    fn analyze_statement_reports_stats() {
         let db = db();
-        let sql = "select k from x where v is not null";
-        assert_eq!(db.query(sql).unwrap().len(), 1);
-        assert_eq!(db.query_with(sql, Engine::Reference).unwrap().len(), 1);
-        let bound = db.prepare(sql).unwrap();
-        assert_eq!(db.run(&bound, Engine::default()).unwrap().len(), 1);
-        assert!(db.explain(sql).unwrap().contains("nested relational"));
-        assert!(db.explain_analyze(sql).unwrap().contains("rows="));
-        let (rel, trace) = db.trace_query(sql).unwrap();
-        assert_eq!(rel.len(), 1);
-        assert!(!trace.entries.is_empty());
+        let out = db.execute("analyze x", &QueryOptions::new()).unwrap();
+        let plan = out.plan.expect("analyze returns a summary");
+        assert!(plan.contains("analyze x: 2 row(s)"), "{plan}");
+        assert!(plan.contains("v: ndv=1 nulls=1"), "{plan}");
+        let stats = db.catalog().table("x").unwrap().stats().unwrap();
+        assert_eq!(stats.row_count, 2);
+    }
+
+    #[test]
+    fn metrics_snapshot_counts_rows_and_outcome() {
+        let db = db();
+        let out = db
+            .execute(
+                "select k from x where v is not null",
+                &QueryOptions::new()
+                    .strategy(Strategy::Original)
+                    .collect_metrics(true),
+            )
+            .unwrap();
+        let snap = out.metrics.expect("metrics requested");
+        assert_eq!(snap.counter_total("nra_rows_produced_total"), 1);
+        use nra_obs::metrics::Metric;
+        assert_eq!(
+            snap.get("nra_queries_total", &[("outcome", "ok")]),
+            Some(&Metric::Counter(1))
+        );
+        assert!(snap.counter_total("nra_op_rows_out_total") > 0);
+        assert!(out.profile.is_none(), "profile was not requested");
     }
 
     #[test]

@@ -85,6 +85,18 @@ fn every_operator_node_is_annotated() {
     }
 }
 
+/// Cardinality feedback: every operator node renders the planner's
+/// estimate next to the measured actual as `est=… act=… (×err)`.
+#[test]
+fn every_operator_node_carries_cardinality_feedback() {
+    let text = analyze(&db());
+    for line in text.lines().filter(|l| !l.starts_with("--")) {
+        assert!(line.contains("est="), "no estimate: {line}");
+        assert!(line.contains(" act="), "no actual: {line}");
+        assert!(line.contains("(×"), "no Q-error factor: {line}");
+    }
+}
+
 /// The nest operator emits exactly one nested tuple per group.
 #[test]
 fn nest_rows_out_equals_group_count() {
