@@ -18,6 +18,8 @@
 //! * `--threads <n>` — worker budget for the partition-parallel executor
 //!   (also enables the `parallel` section: sequential vs parallel wall
 //!   time on Q2a/Q2b for the nested relational series)
+//! * `--batch-size <n>` — rows per `ValueBatch` for the vectorized
+//!   executors (default 1024; also settable via `NRA_BATCH_ROWS`)
 //! * `--record` — append timestamped wall-time entries for Q1/Q2A/Q2B at
 //!   1 and 4 threads to the committed trajectory file
 //!   (`crates/bench/trajectory/BENCH_TRAJECTORY.jsonl`)
@@ -69,6 +71,9 @@ struct Args {
     /// Worker budget for the partition-parallel executor (`--threads`;
     /// default: the `NRA_THREADS` environment variable, else 1).
     threads: Option<usize>,
+    /// Rows per `ValueBatch` for the vectorized executors
+    /// (`--batch-size`; default: `NRA_BATCH_ROWS`, else 1024).
+    batch_rows: Option<usize>,
     /// Append headline wall times to the committed trajectory file.
     record: bool,
     /// Override the trajectory file path for `--record`/`--check-trajectory`.
@@ -90,6 +95,7 @@ fn parse_args() -> Args {
         wall_factor: baseline::Tolerance::default().wall_factor,
         trace: false,
         threads: None,
+        batch_rows: None,
         record: false,
         trajectory: None,
         check_trajectory: false,
@@ -142,6 +148,13 @@ fn parse_args() -> Args {
                     it.next()
                         .and_then(|v| v.parse().ok())
                         .expect("--threads takes a worker count"),
+                )
+            }
+            "--batch-size" => {
+                args.batch_rows = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--batch-size takes a row count"),
                 )
             }
             other => args.figures.push(other.to_string()),
@@ -355,11 +368,15 @@ fn main() {
     let _thread_budget = args
         .threads
         .map(|n| nra::engine::exec::set_threads(Some(n)));
+    let _batch_width = args
+        .batch_rows
+        .map(|n| nra::engine::vec::set_batch_rows(Some(n)));
     println!(
-        "# Paper experiment reproduction (scale {}, {} reps per point, {} thread(s))\n",
+        "# Paper experiment reproduction (scale {}, {} reps per point, {} thread(s), {} batch rows)\n",
         args.scale,
         args.reps,
-        nra::engine::exec::threads()
+        nra::engine::exec::threads(),
+        nra::engine::vec::batch_rows()
     );
     eprintln!("generating data at scale {} ...", args.scale);
     let strict = bench_catalog(args.scale);
@@ -556,7 +573,9 @@ fn collect_profiles(
 /// `--record`: time the headline queries (both nested relational series)
 /// at 1 and 4 worker threads and append the points to the wall-time
 /// trajectory file. Unlike the figure tables (simulated-I/O estimates),
-/// the trajectory records raw wall-clock seconds on the current host.
+/// the trajectory records raw wall-clock seconds on the current host —
+/// the *median* over `--reps` runs (after warm-up), so a single
+/// scheduler stall on a shared host cannot inflate a recorded point.
 fn record_trajectory(strict: &Catalog, nullable: &Catalog, args: &Args) {
     let ts_unix = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -572,7 +591,7 @@ fn record_trajectory(strict: &Catalog, nullable: &Catalog, args: &Args) {
         for threads in [1usize, 4] {
             let _g = nra::engine::exec::set_threads(Some(threads));
             for series in [Series::NrOriginal, Series::NrOptimized] {
-                let (wall_secs, rows) = pq.time(series, args.reps);
+                let (wall_secs, rows) = pq.time_median(series, args.reps);
                 entries.push(trajectory::TrajectoryEntry {
                     ts_unix,
                     scale: args.scale,

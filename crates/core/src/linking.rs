@@ -245,15 +245,22 @@ impl LinkSelection {
         faultinject::hit(faultinject::LINKING_SCAN)?;
         let parts = exec::partitions(rel.len());
         let tuples: Vec<crate::nested::NestedTuple> = if parts <= 1 {
+            // Batch-amortized scan: outcomes accumulate in a local
+            // OpStats (absorbed once) and the governor is polled per
+            // batch — totals identical to the per-row bookkeeping.
+            let mut stats = nra_obs::OpStats::default();
             let mut kept = Vec::new();
-            for (i, t) in rel.tuples.iter().enumerate() {
-                governor::tick(i, "linking-scan")?;
-                let truth = self.eval_tuple(&r, t);
-                sp.outcome(truth);
-                if truth == Truth::True {
-                    kept.push(t.clone());
+            for window in rel.tuples.chunks(nra_engine::vec::batch_rows()) {
+                governor::checkpoint("linking-scan")?;
+                for t in window {
+                    let truth = self.eval_tuple(&r, t);
+                    stats.record_outcome(truth);
+                    if truth == Truth::True {
+                        kept.push(t.clone());
+                    }
                 }
             }
+            sp.absorb_stats(&stats);
             kept
         } else {
             sp.partitions(parts);
@@ -329,11 +336,13 @@ impl LinkSelection {
         let tuples: Vec<crate::nested::NestedTuple> = if parts <= 1 {
             let mut stats = nra_obs::OpStats::default();
             let mut tuples = Vec::with_capacity(rel.len());
-            for (i, t) in rel.tuples.iter().enumerate() {
-                governor::tick(i, "linking-scan")?;
-                let truth = self.eval_tuple(&r, t);
-                stats.record_outcome(truth);
-                tuples.push(pad_tuple(t, truth, &mut stats));
+            for window in rel.tuples.chunks(nra_engine::vec::batch_rows()) {
+                governor::checkpoint("linking-scan")?;
+                for t in window {
+                    let truth = self.eval_tuple(&r, t);
+                    stats.record_outcome(truth);
+                    tuples.push(pad_tuple(t, truth, &mut stats));
+                }
             }
             sp.absorb_stats(&stats);
             tuples
@@ -379,13 +388,17 @@ impl LinkSelection {
         faultinject::hit(faultinject::LINKING_SCAN)?;
         let parts = exec::partitions(rel.len());
         let out: Vec<Truth> = if parts <= 1 {
+            let mut stats = nra_obs::OpStats::default();
             let mut out = Vec::with_capacity(rel.len());
-            for (i, t) in rel.tuples.iter().enumerate() {
-                governor::tick(i, "linking-scan")?;
-                let truth = self.eval_tuple(&r, t);
-                sp.outcome(truth);
-                out.push(truth);
+            for window in rel.tuples.chunks(nra_engine::vec::batch_rows()) {
+                governor::checkpoint("linking-scan")?;
+                let base = out.len();
+                for t in window {
+                    out.push(self.eval_tuple(&r, t));
+                }
+                stats.record_outcomes(&out[base..]);
             }
+            sp.absorb_stats(&stats);
             out
         } else {
             sp.partitions(parts);

@@ -22,8 +22,7 @@
 //! first-occurrence order. Either way the emitted nested relation is
 //! identical to the sequential one.
 
-use std::collections::HashMap;
-
+use nra_engine::vec::{self, FxHashMap};
 use nra_engine::EngineError;
 use nra_engine::{exec, faultinject, governor};
 use nra_storage::{GroupKey, Relation, Schema};
@@ -72,7 +71,7 @@ pub fn nest_hash_idx(
     let parts = exec::partitions(rel.len());
     let tuples: Vec<NestedTuple> = if parts <= 1 {
         let mut order: Vec<GroupKey> = Vec::new();
-        let mut groups: HashMap<GroupKey, Vec<NestedTuple>> = HashMap::new();
+        let mut groups: FxHashMap<GroupKey, Vec<NestedTuple>> = FxHashMap::default();
         for (rid, row) in rel.rows().iter().enumerate() {
             governor::tick(rid, "nest-scan")?;
             let key = GroupKey::from_tuple(row, n1);
@@ -118,7 +117,7 @@ pub fn nest_hash_idx(
         // emission order exactly.
         let per_part = exec::run_partitioned(parts, |b| {
             let mut order: Vec<(usize, GroupKey)> = Vec::new();
-            let mut groups: HashMap<GroupKey, Vec<NestedTuple>> = HashMap::new();
+            let mut groups: FxHashMap<GroupKey, Vec<NestedTuple>> = FxHashMap::default();
             for (rid, row) in rel.rows().iter().enumerate() {
                 governor::tick(rid, "nest-scan")?;
                 if assign[rid] != b as u32 {
@@ -196,20 +195,11 @@ pub fn nest_sort_idx(
         nra_storage::tuple::cmp_on(a, b, n1)
     })?;
     let rows = sorted.rows();
-    // Group boundaries: a cheap sequential scan (adjacent-row equality);
-    // the expensive part — cloning values into nested tuples — is built
-    // per group-chunk in parallel below.
-    let mut bounds: Vec<(usize, usize)> = Vec::new();
-    let mut lo = 0;
-    while lo < rows.len() {
-        governor::tick(bounds.len(), "nest-scan")?;
-        let mut hi = lo + 1;
-        while hi < rows.len() && nra_storage::tuple::group_eq_on(&rows[lo], &rows[hi], n1) {
-            hi += 1;
-        }
-        bounds.push((lo, hi));
-        lo = hi;
-    }
+    // Group boundaries: the batch-windowed adjacent-row kernel (same
+    // governor cadence as the inline scan it replaced); the expensive
+    // part — cloning values into nested tuples — is built per
+    // group-chunk in parallel below.
+    let bounds = vec::group_bounds(rows, n1, "nest-scan")?;
     faultinject::hit(faultinject::NEST_FLUSH)?;
     for &(lo, hi) in &bounds {
         sp.group(hi - lo);

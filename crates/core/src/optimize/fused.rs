@@ -10,7 +10,7 @@
 
 use nra_engine::EngineError;
 use nra_engine::{exec, faultinject, governor};
-use nra_storage::{aggregate, tuple::group_eq_on, AggFunc, CmpOp, Relation, Schema, Truth, Value};
+use nra_storage::{aggregate, AggFunc, CmpOp, Relation, Schema, Truth, Value};
 
 use crate::linking::{LinkCond, LinkSelection, SetQuant};
 
@@ -214,19 +214,11 @@ pub fn fused_nest_select_presorted(
     faultinject::hit(faultinject::NEST_FLUSH)?;
     let mut out = Relation::new(rel.schema().project(n1));
     let rows = rel.rows();
-    // Group boundaries first (cheap adjacent-row scan); the per-group
-    // evaluation and emission is chunked across workers, group-aligned.
-    let mut bounds: Vec<(usize, usize)> = Vec::new();
-    let mut lo = 0;
-    while lo < rows.len() {
-        governor::tick(bounds.len(), "nest-scan")?;
-        let mut hi = lo + 1;
-        while hi < rows.len() && group_eq_on(&rows[lo], &rows[hi], n1) {
-            hi += 1;
-        }
-        bounds.push((lo, hi));
-        lo = hi;
-    }
+    // Group boundaries first, via the batch-windowed adjacent-row
+    // kernel (same governor cadence as the inline scan it replaced);
+    // the per-group evaluation and emission is chunked across workers,
+    // group-aligned.
+    let bounds = nra_engine::vec::group_bounds(rows, n1, "nest-scan")?;
     governor::charge("link", governor::tuple_bytes(bounds.len(), n1.len()))?;
     for &(lo, hi) in &bounds {
         sp.group(hi - lo);

@@ -1,0 +1,137 @@
+//! Microbenchmark backing the DESIGN.md §13 kernel choices: where the
+//! vectorized columnar paths pay and where they do not.
+//!
+//! ```sh
+//! cargo run --release -p nra-engine --example vec_bench
+//! ```
+//!
+//! Two measurements:
+//!
+//! 1. **Predicate evaluation** — `vec::select_rows` over `ValueBatch`
+//!    lanes vs per-row `CPred::accepts`. Lanes win (~2x): the
+//!    expression-tree walk is paid once per batch and the comparison
+//!    loops are branch-light over dense `i64` vectors.
+//! 2. **Group boundaries** — `vec::group_bounds` (batch-windowed
+//!    pairwise `group_eq_on`) vs a transposed-lane variant
+//!    (`ValueBatch::mark_adjacent_neq` per column). The pairwise scan
+//!    wins: adjacent equality consumes each value exactly once, so the
+//!    transposition never amortizes.
+
+use nra_engine::expr::{CExpr, CPred};
+use nra_engine::vec::{self, ValueBatch};
+use nra_storage::{CmpOp, Tuple, Value};
+
+const ROWS: usize = 20_000;
+const REPS: usize = 50;
+
+fn bench<R>(label: &str, mut f: impl FnMut() -> R) {
+    let t = std::time::Instant::now();
+    for _ in 0..REPS {
+        std::hint::black_box(f());
+    }
+    println!("  {label:24} {:?}", t.elapsed());
+}
+
+fn predicate_eval() {
+    println!("predicate evaluation ({ROWS} rows x {REPS} reps):");
+    let rows: Vec<Tuple> = (0..ROWS as i64)
+        .map(|i| {
+            vec![
+                Value::Int(i % 50),
+                Value::Decimal((i % 1000) * 7),
+                Value::Str(format!("n{i}")),
+            ]
+        })
+        .collect();
+    // The bench-catalog scan shape: two range predicates ANDed.
+    let pred = CPred::And(
+        Box::new(CPred::Cmp {
+            left: CExpr::Col(0),
+            op: CmpOp::Ge,
+            right: CExpr::Lit(Value::Int(1)),
+        }),
+        Box::new(CPred::Cmp {
+            left: CExpr::Col(1),
+            op: CmpOp::Lt,
+            right: CExpr::Lit(Value::Decimal(4000)),
+        }),
+    );
+    let cols = pred.columns();
+    let reference: usize = rows.iter().filter(|r| pred.accepts(r)).count();
+    bench("vectorized (lanes)", || {
+        let mut n = 0;
+        for w in rows.chunks(vec::batch_rows()) {
+            let b = ValueBatch::with_columns(w, 3, &cols);
+            n += vec::select_rows(&pred, &b).len();
+        }
+        assert_eq!(n, reference);
+        n
+    });
+    bench("row-at-a-time", || {
+        let n = rows.iter().filter(|r| pred.accepts(r)).count();
+        assert_eq!(n, reference);
+        n
+    });
+}
+
+/// The rejected transposed-lane variant, kept for the comparison.
+fn lane_bounds(rows: &[Tuple], cols: &[usize]) -> Vec<(usize, usize)> {
+    let width = rows.first().map_or(0, Vec::len);
+    let mut starts = vec![0usize];
+    let mut base = 0;
+    for window in rows.chunks(vec::batch_rows()) {
+        if base > 0 && !nra_storage::tuple::group_eq_on(&rows[base - 1], &rows[base], cols) {
+            starts.push(base);
+        }
+        if window.len() > 1 {
+            let batch = ValueBatch::with_columns(window, width, cols);
+            let mut fresh = vec![false; window.len()];
+            for &c in cols {
+                batch.mark_adjacent_neq(c, &mut fresh);
+            }
+            for (i, f) in fresh.iter().enumerate().skip(1) {
+                if *f {
+                    starts.push(base + i);
+                }
+            }
+        }
+        base += window.len();
+    }
+    let mut bounds = Vec::with_capacity(starts.len());
+    for (g, &lo) in starts.iter().enumerate() {
+        let hi = starts.get(g + 1).copied().unwrap_or(rows.len());
+        bounds.push((lo, hi));
+    }
+    bounds
+}
+
+fn group_boundaries() {
+    println!("group boundaries ({ROWS} rows, ~10/group, 4 key cols x {REPS} reps):");
+    let rows: Vec<Tuple> = (0..ROWS as i64)
+        .map(|i| {
+            let g = i / 10;
+            vec![
+                Value::Int(g),
+                Value::Int(g * 2),
+                Value::Str(format!("k{g}")),
+                Value::Decimal(g * 100),
+                Value::Int(i % 7),
+            ]
+        })
+        .collect();
+    let cols = [0usize, 1, 2, 3];
+    let reference = lane_bounds(&rows, &cols);
+    assert_eq!(
+        vec::group_bounds(&rows, &cols, "bench").expect("ungoverned"),
+        reference
+    );
+    bench("pairwise (shipped)", || {
+        vec::group_bounds(&rows, &cols, "bench").expect("ungoverned")
+    });
+    bench("transposed lanes", || lane_bounds(&rows, &cols));
+}
+
+fn main() {
+    predicate_eval();
+    group_boundaries();
+}

@@ -211,6 +211,7 @@ where
     }
     let handoff = nra_obs::Handoff::capture();
     let gov = governor::current();
+    let batch_rows = crate::vec::batch_rows_override();
     let mut results: Vec<Result<T, EngineError>> = Vec::with_capacity(parts);
     let mut profiles: Vec<Option<nra_obs::Profile>> = Vec::with_capacity(parts - 1);
     std::thread::scope(|s| {
@@ -221,6 +222,7 @@ where
                 let f = &f;
                 s.spawn(move || {
                     let _gov = governor::install(gov);
+                    let _bsz = crate::vec::set_batch_rows(batch_rows);
                     // Contain inside the handoff so the worker's
                     // collector is torn down normally even on panic.
                     handoff.run(|| {
@@ -511,12 +513,19 @@ mod tests {
 
     #[test]
     fn workers_inherit_the_governor() {
+        use nra_storage::{Tuple, Value};
         // A 2-byte budget must trip charges made from worker threads.
+        // Each worker transposes a real batch and charges its actual
+        // lane allocation (not a flat per-worker constant) through the
+        // batch-amortized path.
         let gov = Arc::new(governor::Governor::new().mem_limit(2));
         let _g = governor::install(Some(gov));
         let result = with_budget(4, || {
-            run_partitioned(4, |_p| {
-                governor::charge("worker-alloc", 1024)?;
+            run_partitioned(4, |p| {
+                let rows: Vec<Tuple> = (0..64).map(|i| vec![Value::Int((p + i) as i64)]).collect();
+                let batch = crate::vec::ValueBatch::with_columns(&rows, 1, &[0]);
+                assert!(batch.alloc_bytes() >= 64 * 8, "charges real lane bytes");
+                crate::vec::charge_batch("worker-alloc", &batch)?;
                 Ok(())
             })
         });

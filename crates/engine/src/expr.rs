@@ -56,6 +56,18 @@ impl CExpr {
             _ => None,
         }
     }
+
+    /// Append every column index this expression reads.
+    pub fn collect_cols(&self, out: &mut Vec<usize>) {
+        match self {
+            CExpr::Col(i) => out.push(*i),
+            CExpr::Lit(_) => {}
+            CExpr::Arith { left, right, .. } => {
+                left.collect_cols(out);
+                right.collect_cols(out);
+            }
+        }
+    }
 }
 
 /// An index-resolved predicate evaluating to a [`Truth`].
@@ -204,6 +216,46 @@ impl CPred {
     /// `WHERE`-clause acceptance: predicate evaluates to `TRUE`.
     pub fn accepts(&self, row: &[Value]) -> bool {
         self.eval(row).is_true()
+    }
+
+    /// Append every column index this predicate reads.
+    pub fn collect_cols(&self, out: &mut Vec<usize>) {
+        match self {
+            CPred::Cmp { left, right, .. } => {
+                left.collect_cols(out);
+                right.collect_cols(out);
+            }
+            CPred::Between {
+                expr, low, high, ..
+            } => {
+                expr.collect_cols(out);
+                low.collect_cols(out);
+                high.collect_cols(out);
+            }
+            CPred::IsNull { expr, .. } => expr.collect_cols(out),
+            CPred::InList { expr, list, .. } => {
+                expr.collect_cols(out);
+                for e in list {
+                    e.collect_cols(out);
+                }
+            }
+            CPred::And(a, b) | CPred::Or(a, b) => {
+                a.collect_cols(out);
+                b.collect_cols(out);
+            }
+            CPred::Not(p) => p.collect_cols(out),
+            CPred::Const(_) => {}
+        }
+    }
+
+    /// The sorted, deduplicated column indices this predicate reads —
+    /// the lanes a `ValueBatch` transposes to evaluate it columnar-wise.
+    pub fn columns(&self) -> Vec<usize> {
+        let mut cols = Vec::new();
+        self.collect_cols(&mut cols);
+        cols.sort_unstable();
+        cols.dedup();
+        cols
     }
 }
 

@@ -19,7 +19,11 @@
 //!   (bottom-up semijoin/antijoin cascades, and nested iteration with index
 //!   probes);
 //! * [`reference`] — the brute-force tuple-iteration oracle every strategy
-//!   is validated against.
+//!   is validated against;
+//! * [`vec`] — the vectorized columnar execution core: [`vec::ValueBatch`]
+//!   typed lanes + validity bitmaps, selection vectors, columnar 3VL
+//!   predicate evaluation, group-boundary kernels, and the vendored
+//!   FxHash-style hasher backing every hash table (see `DESIGN.md` §13).
 
 pub mod baseline;
 pub mod error;
@@ -30,6 +34,7 @@ pub mod governor;
 pub mod ops;
 pub mod planning;
 pub mod reference;
+pub mod vec;
 
 pub use error::EngineError;
 pub use expr::{CExpr, CPred};

@@ -20,13 +20,12 @@
 //! chunk outputs concatenated in partition order — so the output is
 //! byte-identical to the sequential join at any worker count.
 
-use std::collections::HashMap;
-
 use nra_storage::{GroupKey, Relation, Value};
 
 use crate::error::EngineError;
 use crate::exec;
 use crate::expr::CPred;
+use crate::vec::{self, FxHashMap};
 use crate::{faultinject, governor};
 
 /// Join flavor.
@@ -159,29 +158,53 @@ pub fn join(left: &Relation, right: &Relation, spec: &JoinSpec) -> Result<Relati
     let results = exec::run_partitioned(pparts, |p| {
         let mut rows: Vec<Vec<Value>> = Vec::new();
         let mut combined: Vec<Value> = Vec::with_capacity(out_width);
-        for (i, l) in left.rows()[ranges[p].clone()].iter().enumerate() {
-            governor::tick(i, "join-probe")?;
-            let key = GroupKey::from_tuple(l, &left_keys);
-            let mut matched = false;
-            if !key.has_null() {
-                if let Some(rids) = probe(&tables, &key) {
-                    for &rid in rids {
-                        combined.clear();
-                        combined.extend(l.iter().cloned());
-                        combined.extend(right.rows()[rid].iter().cloned());
-                        if matches_residual(&combined, spec) {
-                            matched = true;
-                            match spec.kind {
-                                JoinKind::Inner | JoinKind::LeftOuter => {
-                                    rows.push(combined.clone())
+        // Scratch probe key, reused across rows (no per-row Vec churn).
+        let mut key = GroupKey(Vec::with_capacity(left_keys.len()));
+        for window in left.rows()[ranges[p].clone()].chunks(vec::batch_rows()) {
+            // Cancellation poll amortized to once per batch (the scalar
+            // loop's tick cadence at the default width).
+            governor::checkpoint("join-probe")?;
+            for l in window {
+                let mut matched = false;
+                // SQL equality: a NULL key matches nothing — skip the
+                // probe without even building the key.
+                if !left_keys.iter().any(|&c| l[c].is_null()) {
+                    key.0.clear();
+                    key.0.extend(left_keys.iter().map(|&c| l[c].clone()));
+                    if let Some(rids) = probe(&tables, &key) {
+                        // Match lists are never empty.
+                        match (&spec.residual, spec.kind) {
+                            (None, JoinKind::Semi | JoinKind::Anti) => matched = true,
+                            (None, JoinKind::Inner | JoinKind::LeftOuter) => {
+                                matched = true;
+                                for &rid in rids {
+                                    let mut row: Vec<Value> = Vec::with_capacity(out_width);
+                                    row.extend(l.iter().cloned());
+                                    row.extend(right.rows()[rid].iter().cloned());
+                                    rows.push(row);
                                 }
-                                JoinKind::Semi | JoinKind::Anti => break,
+                            }
+                            (Some(_), _) => {
+                                for &rid in rids {
+                                    combined.clear();
+                                    combined.extend(l.iter().cloned());
+                                    combined.extend(right.rows()[rid].iter().cloned());
+                                    if matches_residual(&combined, spec) {
+                                        matched = true;
+                                        match spec.kind {
+                                            JoinKind::Inner | JoinKind::LeftOuter => {
+                                                rows.push(combined.clone())
+                                            }
+                                            JoinKind::Semi | JoinKind::Anti => break,
+                                        }
+                                    }
+                                }
                             }
                         }
                     }
                 }
+                emit_unmatched(&mut rows, l, right_width, spec.kind, matched);
             }
-            emit_unmatched(&mut rows, l, right_width, spec.kind, matched);
         }
         governor::charge("join", governor::tuple_bytes(rows.len(), out_width))?;
         Ok(rows)
@@ -207,14 +230,20 @@ fn build_tables(
     right: &Relation,
     right_keys: &[usize],
     bparts: usize,
-) -> Result<Vec<HashMap<GroupKey, Vec<usize>>>, EngineError> {
+) -> Result<Vec<FxHashMap<GroupKey, Vec<usize>>>, EngineError> {
     if bparts <= 1 {
-        let mut table: HashMap<GroupKey, Vec<usize>> = HashMap::new();
-        for (rid, r) in right.rows().iter().enumerate() {
-            governor::tick(rid, "join-build")?;
-            let key = GroupKey::from_tuple(r, right_keys);
-            if !key.has_null() {
-                table.entry(key).or_default().push(rid);
+        let mut table: FxHashMap<GroupKey, Vec<usize>> = FxHashMap::default();
+        let mut rid = 0;
+        for window in right.rows().chunks(vec::batch_rows()) {
+            governor::checkpoint("join-build")?;
+            for r in window {
+                if !right_keys.iter().any(|&c| r[c].is_null()) {
+                    table
+                        .entry(GroupKey::from_tuple(r, right_keys))
+                        .or_default()
+                        .push(rid);
+                }
+                rid += 1;
             }
         }
         return Ok(vec![table]);
@@ -224,13 +253,15 @@ fn build_tables(
     // worker insert exactly its partition's rows.
     let ranges = exec::chunks(right.len(), bparts);
     let assigned = exec::run_partitioned(bparts, |p| {
+        let mut key = GroupKey(Vec::with_capacity(right_keys.len()));
         Ok(right.rows()[ranges[p].clone()]
             .iter()
             .map(|r| {
-                let key = GroupKey::from_tuple(r, right_keys);
-                if key.has_null() {
+                if right_keys.iter().any(|&c| r[c].is_null()) {
                     u32::MAX
                 } else {
+                    key.0.clear();
+                    key.0.extend(right_keys.iter().map(|&c| r[c].clone()));
                     (exec::key_hash(&key) % bparts as u64) as u32
                 }
             })
@@ -238,14 +269,18 @@ fn build_tables(
     })?;
     let assign: Vec<u32> = assigned.into_iter().flatten().collect();
     exec::run_partitioned(bparts, |b| {
-        let mut table: HashMap<GroupKey, Vec<usize>> = HashMap::new();
-        for (rid, r) in right.rows().iter().enumerate() {
-            governor::tick(rid, "join-build")?;
-            if assign[rid] == b as u32 {
-                table
-                    .entry(GroupKey::from_tuple(r, right_keys))
-                    .or_default()
-                    .push(rid);
+        let mut table: FxHashMap<GroupKey, Vec<usize>> = FxHashMap::default();
+        let mut rid = 0;
+        for window in right.rows().chunks(vec::batch_rows()) {
+            governor::checkpoint("join-build")?;
+            for r in window {
+                if assign[rid] == b as u32 {
+                    table
+                        .entry(GroupKey::from_tuple(r, right_keys))
+                        .or_default()
+                        .push(rid);
+                }
+                rid += 1;
             }
         }
         Ok(table)
@@ -254,7 +289,7 @@ fn build_tables(
 
 /// Look `key` up in the table that owns its hash partition.
 fn probe<'t>(
-    tables: &'t [HashMap<GroupKey, Vec<usize>>],
+    tables: &'t [FxHashMap<GroupKey, Vec<usize>>],
     key: &GroupKey,
 ) -> Option<&'t Vec<usize>> {
     let table = if tables.len() == 1 {

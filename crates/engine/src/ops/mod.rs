@@ -11,10 +11,11 @@ pub mod setops;
 pub use join::{join, JoinKind, JoinSpec};
 pub use setops::{difference, difference_all, intersect, intersect_all, union, union_all};
 
-use nra_storage::{Relation, Table};
+use nra_storage::{Relation, Table, Tuple};
 
 use crate::error::EngineError;
 use crate::expr::CPred;
+use crate::vec;
 
 /// Scan a base table, exposing its columns qualified by `exposed`.
 pub fn scan(table: &Table, exposed: &str) -> Relation {
@@ -25,13 +26,22 @@ pub fn scan(table: &Table, exposed: &str) -> Relation {
 }
 
 /// Keep only rows for which `pred` evaluates to `TRUE`.
+///
+/// Runs vectorized: each batch-sized window is transposed into a
+/// [`vec::ValueBatch`] over the predicate's columns, the predicate is
+/// evaluated columnar-wise, and the resulting selection vector drives
+/// which rows are copied out — the row-at-a-time `pred.accepts(row)`
+/// path survives as the differential-testing reference.
 pub fn filter(rel: &Relation, pred: &CPred) -> Relation {
-    let rows = rel
-        .rows()
-        .iter()
-        .filter(|r| pred.accepts(r))
-        .cloned()
-        .collect();
+    let cols = pred.columns();
+    let width = rel.schema().len();
+    let mut rows: Vec<Tuple> = Vec::new();
+    for window in rel.rows().chunks(vec::batch_rows()) {
+        let batch = vec::ValueBatch::with_columns(window, width, &cols);
+        for i in vec::select_rows(pred, &batch).iter() {
+            rows.push(window[i].clone());
+        }
+    }
     Relation::with_rows(rel.schema().clone(), rows)
 }
 

@@ -14,12 +14,11 @@
 //! sequential — so output order and content match the sequential code
 //! exactly.
 
-use std::collections::{HashMap, HashSet};
-
 use nra_storage::{GroupKey, Relation};
 
 use crate::error::EngineError;
 use crate::exec;
+use crate::vec::{FxHashMap, FxHashSet};
 
 fn check_arity(left: &Relation, right: &Relation) -> Result<(), EngineError> {
     if left.schema().len() != right.schema().len() {
@@ -65,7 +64,7 @@ fn extract_keys(
 /// inherently sequential, but the hashing happens here.
 fn memberships(
     left: &Relation,
-    right_keys: &HashSet<GroupKey>,
+    right_keys: &FxHashSet<GroupKey>,
     cols: &[usize],
     sp: &mut nra_obs::Span,
 ) -> Result<Vec<(GroupKey, bool)>, EngineError> {
@@ -97,7 +96,7 @@ pub fn union(left: &Relation, right: &Relation) -> Result<Relation, EngineError>
     let cols = all_cols(left);
     let mut keys = extract_keys(left, &cols, &mut sp)?;
     keys.extend(extract_keys(right, &cols, &mut sp)?);
-    let mut seen: HashSet<GroupKey> = HashSet::new();
+    let mut seen: FxHashSet<GroupKey> = FxHashSet::default();
     let mut out = Relation::new(left.schema().clone());
     for (row, key) in left.rows().iter().chain(right.rows()).zip(keys) {
         if seen.insert(key) {
@@ -114,9 +113,10 @@ pub fn intersect(left: &Relation, right: &Relation) -> Result<Relation, EngineEr
     sp.rows_in(left.len() + right.len());
     check_arity(left, right)?;
     let cols = all_cols(left);
-    let right_keys: HashSet<GroupKey> = extract_keys(right, &cols, &mut sp)?.into_iter().collect();
+    let right_keys: FxHashSet<GroupKey> =
+        extract_keys(right, &cols, &mut sp)?.into_iter().collect();
     let keyed = memberships(left, &right_keys, &cols, &mut sp)?;
-    let mut emitted: HashSet<GroupKey> = HashSet::new();
+    let mut emitted: FxHashSet<GroupKey> = FxHashSet::default();
     let mut out = Relation::new(left.schema().clone());
     for (row, (key, hit)) in left.rows().iter().zip(keyed) {
         if hit && emitted.insert(key) {
@@ -133,9 +133,10 @@ pub fn difference(left: &Relation, right: &Relation) -> Result<Relation, EngineE
     sp.rows_in(left.len() + right.len());
     check_arity(left, right)?;
     let cols = all_cols(left);
-    let right_keys: HashSet<GroupKey> = extract_keys(right, &cols, &mut sp)?.into_iter().collect();
+    let right_keys: FxHashSet<GroupKey> =
+        extract_keys(right, &cols, &mut sp)?.into_iter().collect();
     let keyed = memberships(left, &right_keys, &cols, &mut sp)?;
-    let mut emitted: HashSet<GroupKey> = HashSet::new();
+    let mut emitted: FxHashSet<GroupKey> = FxHashSet::default();
     let mut out = Relation::new(left.schema().clone());
     for (row, (key, hit)) in left.rows().iter().zip(keyed) {
         if !hit && emitted.insert(key) {
@@ -166,7 +167,7 @@ pub fn intersect_all(left: &Relation, right: &Relation) -> Result<Relation, Engi
     sp.rows_in(left.len() + right.len());
     check_arity(left, right)?;
     let cols = all_cols(left);
-    let mut counts: HashMap<GroupKey, usize> = HashMap::new();
+    let mut counts: FxHashMap<GroupKey, usize> = FxHashMap::default();
     for row in right.rows() {
         *counts.entry(GroupKey::from_tuple(row, &cols)).or_insert(0) += 1;
     }
@@ -190,7 +191,7 @@ pub fn difference_all(left: &Relation, right: &Relation) -> Result<Relation, Eng
     sp.rows_in(left.len() + right.len());
     check_arity(left, right)?;
     let cols = all_cols(left);
-    let mut counts: HashMap<GroupKey, usize> = HashMap::new();
+    let mut counts: FxHashMap<GroupKey, usize> = FxHashMap::default();
     for row in right.rows() {
         *counts.entry(GroupKey::from_tuple(row, &cols)).or_insert(0) += 1;
     }

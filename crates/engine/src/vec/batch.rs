@@ -1,0 +1,398 @@
+//! Column-major value batches: typed lanes, validity bitmaps, selection
+//! vectors.
+//!
+//! A [`ValueBatch`] is a *view* over a contiguous run of row-major tuples
+//! (one morsel-sized window). Building it transposes the requested
+//! columns into typed lanes — a `Vec<i64>`/`Vec<f64>` of payloads plus a
+//! [`Validity`] bitmap — when every non-NULL value of the column in the
+//! window shares one representable type. Columns that mix types or hold
+//! strings keep a [`Lane::Ref`] marker and are read straight from the row
+//! storage, so the fallback costs nothing to build.
+//!
+//! The transposition copies only machine words (no `Value` clones, no
+//! heap traffic), and downstream kernels then run tight branch-light
+//! loops over the lanes instead of matching on enum tags per value.
+
+use nra_storage::{Tuple, Value};
+
+/// A bitmap of per-row validity (1 = value present, 0 = SQL `NULL`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Validity {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl Validity {
+    pub fn with_capacity(rows: usize) -> Validity {
+        Validity {
+            bits: Vec::with_capacity(rows.div_ceil(64)),
+            len: 0,
+        }
+    }
+
+    /// Append one row's validity.
+    #[inline]
+    pub fn push(&mut self, valid: bool) {
+        let (word, bit) = (self.len / 64, self.len % 64);
+        if bit == 0 {
+            self.bits.push(0);
+        }
+        if valid {
+            self.bits[word] |= 1u64 << bit;
+        }
+        self.len += 1;
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        self.bits[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of valid (non-NULL) rows.
+    pub fn count_valid(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no row is NULL (lets kernels skip the bitmap entirely).
+    pub fn all_valid(&self) -> bool {
+        self.count_valid() == self.len
+    }
+
+    /// Heap bytes held by the bitmap.
+    pub fn alloc_bytes(&self) -> u64 {
+        (self.bits.capacity() * std::mem::size_of::<u64>()) as u64
+    }
+}
+
+/// The scalar type of an `i64`-mapped lane. The discriminants mirror
+/// `Value`'s variants; cross-kind comparison semantics are centralized in
+/// [`crate::vec::eval`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneKind {
+    Bool,
+    Int,
+    Decimal,
+    Date,
+}
+
+/// One column of a batch.
+#[derive(Debug, Clone)]
+pub enum Lane {
+    /// All non-NULL values share one `i64`-representable kind.
+    I64 {
+        kind: LaneKind,
+        vals: Vec<i64>,
+        valid: Validity,
+    },
+    /// All non-NULL values are floats.
+    F64 { vals: Vec<f64>, valid: Validity },
+    /// Mixed or string column: read from the row storage.
+    Ref,
+}
+
+impl Lane {
+    fn alloc_bytes(&self) -> u64 {
+        match self {
+            Lane::I64 { vals, valid, .. } => {
+                (vals.capacity() * std::mem::size_of::<i64>()) as u64 + valid.alloc_bytes()
+            }
+            Lane::F64 { vals, valid } => {
+                (vals.capacity() * std::mem::size_of::<f64>()) as u64 + valid.alloc_bytes()
+            }
+            Lane::Ref => 0,
+        }
+    }
+}
+
+fn i64_kind(v: &Value) -> Option<(LaneKind, i64)> {
+    match v {
+        Value::Bool(b) => Some((LaneKind::Bool, i64::from(*b))),
+        Value::Int(i) => Some((LaneKind::Int, *i)),
+        Value::Decimal(d) => Some((LaneKind::Decimal, *d)),
+        Value::Date(d) => Some((LaneKind::Date, i64::from(*d))),
+        _ => None,
+    }
+}
+
+fn build_lane(rows: &[Tuple], col: usize) -> Lane {
+    // One probing pass decides the lane type from the first non-NULL
+    // value; the transposing pass bails to `Ref` on the first mismatch.
+    let mut first = None;
+    for row in rows {
+        match &row[col] {
+            Value::Null => continue,
+            v => {
+                first = Some(v);
+                break;
+            }
+        }
+    }
+    match first {
+        None => {
+            // All-NULL column: an Int lane of zeros with an all-0 bitmap
+            // behaves correctly under every kernel.
+            let mut valid = Validity::with_capacity(rows.len());
+            for _ in rows {
+                valid.push(false);
+            }
+            Lane::I64 {
+                kind: LaneKind::Int,
+                vals: vec![0; rows.len()],
+                valid,
+            }
+        }
+        Some(Value::Float(_)) => {
+            let mut vals = Vec::with_capacity(rows.len());
+            let mut valid = Validity::with_capacity(rows.len());
+            for row in rows {
+                match &row[col] {
+                    Value::Null => {
+                        vals.push(0.0);
+                        valid.push(false);
+                    }
+                    Value::Float(f) => {
+                        vals.push(*f);
+                        valid.push(true);
+                    }
+                    _ => return Lane::Ref,
+                }
+            }
+            Lane::F64 { vals, valid }
+        }
+        Some(v) => {
+            let Some((kind, _)) = i64_kind(v) else {
+                return Lane::Ref; // strings and future variants
+            };
+            let mut vals = Vec::with_capacity(rows.len());
+            let mut valid = Validity::with_capacity(rows.len());
+            for row in rows {
+                match &row[col] {
+                    Value::Null => {
+                        vals.push(0);
+                        valid.push(false);
+                    }
+                    v => match i64_kind(v) {
+                        Some((k, x)) if k == kind => {
+                            vals.push(x);
+                            valid.push(true);
+                        }
+                        _ => return Lane::Ref,
+                    },
+                }
+            }
+            Lane::I64 { kind, vals, valid }
+        }
+    }
+}
+
+/// A column-major window over `rows` with typed lanes for the columns a
+/// kernel asked for. Lifetime-tied to the underlying row storage; `Ref`
+/// lanes and generic fallbacks read the original `Value`s in place.
+pub struct ValueBatch<'a> {
+    rows: &'a [Tuple],
+    lanes: Vec<Option<Lane>>,
+}
+
+impl<'a> ValueBatch<'a> {
+    /// Build a batch over `rows` (a window of a relation of `width`
+    /// columns), transposing exactly the columns in `cols`.
+    pub fn with_columns(rows: &'a [Tuple], width: usize, cols: &[usize]) -> ValueBatch<'a> {
+        let mut lanes: Vec<Option<Lane>> = (0..width).map(|_| None).collect();
+        for &c in cols {
+            if c < width && lanes[c].is_none() {
+                lanes[c] = Some(build_lane(rows, c));
+            }
+        }
+        ValueBatch { rows, lanes }
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The underlying row window.
+    pub fn rows(&self) -> &'a [Tuple] {
+        self.rows
+    }
+
+    /// The raw value at (`row`, `col`) — the generic fallback accessor.
+    #[inline]
+    pub fn value(&self, row: usize, col: usize) -> &'a Value {
+        &self.rows[row][col]
+    }
+
+    /// The transposed lane for `col`, if one was built.
+    pub fn lane(&self, col: usize) -> Option<&Lane> {
+        self.lanes.get(col).and_then(Option::as_ref)
+    }
+
+    /// Heap bytes held by the batch's transposed lanes (the quantity the
+    /// batch-amortized governor charge accounts for).
+    pub fn alloc_bytes(&self) -> u64 {
+        self.lanes
+            .iter()
+            .flatten()
+            .map(Lane::alloc_bytes)
+            .sum::<u64>()
+    }
+
+    /// Set `fresh[i] = true` for every row `i >= 1` whose value in `col`
+    /// differs from row `i - 1` under grouping equality (`NULL` matches
+    /// `NULL`). `fresh[0]` is left untouched. Typed lanes compare machine
+    /// words; `Ref` columns fall back to `Value::group_eq`.
+    pub fn mark_adjacent_neq(&self, col: usize, fresh: &mut [bool]) {
+        match self.lane(col) {
+            Some(Lane::I64 { vals, valid, .. }) => {
+                for i in 1..vals.len() {
+                    let (va, vb) = (valid.get(i - 1), valid.get(i));
+                    if va != vb || (va && vals[i - 1] != vals[i]) {
+                        fresh[i] = true;
+                    }
+                }
+            }
+            Some(Lane::F64 { vals, valid }) => {
+                // Grouping equality on floats is total-order equality,
+                // which is bit equality.
+                for i in 1..vals.len() {
+                    let (va, vb) = (valid.get(i - 1), valid.get(i));
+                    if va != vb || (va && vals[i - 1].to_bits() != vals[i].to_bits()) {
+                        fresh[i] = true;
+                    }
+                }
+            }
+            Some(Lane::Ref) | None => {
+                let n = self.rows.len().min(fresh.len());
+                for (i, f) in fresh[..n].iter_mut().enumerate().skip(1) {
+                    if !self.rows[i - 1][col].group_eq(&self.rows[i][col]) {
+                        *f = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A selection vector: indices (into a batch) of the rows a predicate
+/// kept, in ascending order. The vectorized alternative to materializing
+/// filtered row copies.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SelVec(pub Vec<u32>);
+
+impl SelVec {
+    /// Select the rows whose truth value is `TRUE` (SQL `WHERE`
+    /// semantics: both `FALSE` and `UNKNOWN` reject).
+    pub fn from_truths(truths: &[nra_storage::Truth]) -> SelVec {
+        SelVec(
+            truths
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.is_true())
+                .map(|(i, _)| i as u32)
+                .collect(),
+        )
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.0.iter().map(|&i| i as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nra_storage::Truth;
+
+    #[test]
+    fn typed_lane_for_homogeneous_ints() {
+        let rows: Vec<Tuple> = vec![vec![Value::Int(1)], vec![Value::Null], vec![Value::Int(3)]];
+        let b = ValueBatch::with_columns(&rows, 1, &[0]);
+        match b.lane(0) {
+            Some(Lane::I64 { kind, vals, valid }) => {
+                assert_eq!(*kind, LaneKind::Int);
+                assert_eq!(vals, &vec![1, 0, 3]);
+                assert!(valid.get(0) && !valid.get(1) && valid.get(2));
+                assert_eq!(valid.count_valid(), 2);
+                assert!(!valid.all_valid());
+            }
+            other => panic!("expected Int lane, got {other:?}"),
+        }
+        assert!(b.alloc_bytes() > 0);
+    }
+
+    #[test]
+    fn mixed_column_falls_back_to_ref() {
+        let rows: Vec<Tuple> = vec![vec![Value::Int(1)], vec![Value::Decimal(100)]];
+        let b = ValueBatch::with_columns(&rows, 1, &[0]);
+        assert!(matches!(b.lane(0), Some(Lane::Ref)));
+        let rows2: Vec<Tuple> = vec![vec![Value::str("a")], vec![Value::str("b")]];
+        let b2 = ValueBatch::with_columns(&rows2, 1, &[0]);
+        assert!(matches!(b2.lane(0), Some(Lane::Ref)));
+    }
+
+    #[test]
+    fn all_null_column_is_invalid_int_lane() {
+        let rows: Vec<Tuple> = vec![vec![Value::Null], vec![Value::Null]];
+        let b = ValueBatch::with_columns(&rows, 1, &[0]);
+        match b.lane(0) {
+            Some(Lane::I64 { valid, .. }) => assert_eq!(valid.count_valid(), 0),
+            other => panic!("expected lane, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn float_lane_and_bit_equality() {
+        let rows: Vec<Tuple> = vec![
+            vec![Value::Float(0.5)],
+            vec![Value::Float(0.5)],
+            vec![Value::Float(-0.0)],
+            vec![Value::Float(0.0)],
+        ];
+        let b = ValueBatch::with_columns(&rows, 1, &[0]);
+        let mut fresh = vec![false; 4];
+        b.mark_adjacent_neq(0, &mut fresh);
+        // -0.0 and +0.0 differ under total-order grouping equality.
+        assert_eq!(fresh, vec![false, false, true, true]);
+    }
+
+    #[test]
+    fn selvec_from_truths() {
+        let sel = SelVec::from_truths(&[Truth::True, Truth::False, Truth::Unknown, Truth::True]);
+        assert_eq!(sel.0, vec![0, 3]);
+        assert_eq!(sel.len(), 2);
+        assert!(!sel.is_empty());
+        assert_eq!(sel.iter().collect::<Vec<_>>(), vec![0, 3]);
+    }
+
+    #[test]
+    fn validity_bitmap_spans_words() {
+        let mut v = Validity::with_capacity(130);
+        for i in 0..130 {
+            v.push(i % 3 == 0);
+        }
+        assert_eq!(v.len(), 130);
+        for i in 0..130 {
+            assert_eq!(v.get(i), i % 3 == 0, "bit {i}");
+        }
+        assert_eq!(v.count_valid(), (0..130).filter(|i| i % 3 == 0).count());
+    }
+}

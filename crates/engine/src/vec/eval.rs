@@ -1,0 +1,604 @@
+//! Vectorized 3VL expression evaluation over [`ValueBatch`]es.
+//!
+//! [`eval_pred`] computes a whole column of [`Truth`] values for a
+//! [`CPred`](crate::expr::CPred); [`select_rows`] turns that into a
+//! [`SelVec`] (SQL `WHERE` semantics: only `TRUE` selects). Comparisons
+//! between typed lanes run as tight machine-word loops that replicate
+//! [`Value::sql_cmp`] exactly — including `Int`↔`Decimal` scaling
+//! overflow (`checked_mul(100)` failure is *unknown*), `NULL`
+//! propagation via the validity bitmaps, and incomparable type pairs.
+//! Everything else (string columns, mixed columns, arithmetic) falls
+//! back to the row-at-a-time evaluator per element, so results are
+//! bit-identical to `CPred::eval` by construction; the differential
+//! property tests in `tests/vectorized.rs` hold both paths to that.
+//!
+//! Kleene `AND`/`OR` are commutative and associative, so the columnar
+//! or-fold used for `IN` lists matches the row evaluator's early-`TRUE`
+//! break, and `AND`/`OR` zips match its (non-short-circuiting) two-sided
+//! evaluation.
+
+use std::cmp::Ordering;
+
+use nra_storage::{CmpOp, Truth, Value};
+
+use super::batch::{Lane, LaneKind, SelVec, Validity, ValueBatch};
+use crate::expr::{CExpr, CPred};
+
+/// A scalar expression resolved against one batch: either a column of
+/// the batch (possibly with a typed lane), a broadcast literal, or
+/// row-wise computed values (arithmetic).
+pub enum ExprCol {
+    Col(usize),
+    Const(Value),
+    Owned(Vec<Value>),
+}
+
+/// Resolve `expr` against `batch`. Bare columns and literals are
+/// zero-cost; arithmetic materializes one value per row via the
+/// row-at-a-time evaluator (exactness over speed for the rare case).
+pub fn eval_expr_column(expr: &CExpr, batch: &ValueBatch<'_>) -> ExprCol {
+    match expr {
+        CExpr::Col(i) => ExprCol::Col(*i),
+        CExpr::Lit(v) => ExprCol::Const(v.clone()),
+        CExpr::Arith { .. } => ExprCol::Owned(batch.rows().iter().map(|r| expr.eval(r)).collect()),
+    }
+}
+
+impl ExprCol {
+    /// Generic per-row accessor (the row-at-a-time fallback).
+    #[inline]
+    fn value<'x>(&'x self, batch: &'x ValueBatch<'_>, row: usize) -> &'x Value {
+        match self {
+            ExprCol::Col(i) => batch.value(row, *i),
+            ExprCol::Const(v) => v,
+            ExprCol::Owned(vs) => &vs[row],
+        }
+    }
+}
+
+/// `Value::sql_cmp` restricted to two `i64`-mapped lanes. `None` is
+/// *incomparable* (→ `Unknown`), matching the scalar table: same kind
+/// compares directly; `Int`↔`Decimal` rescale with overflow → `None`;
+/// every other kind pair is `None`.
+#[inline]
+fn ord_i64(ka: LaneKind, a: i64, kb: LaneKind, b: i64) -> Option<Ordering> {
+    if ka == kb {
+        return Some(a.cmp(&b));
+    }
+    match (ka, kb) {
+        (LaneKind::Int, LaneKind::Decimal) => a.checked_mul(100).map(|a| a.cmp(&b)),
+        (LaneKind::Decimal, LaneKind::Int) => b.checked_mul(100).map(|b| a.cmp(&b)),
+        _ => None,
+    }
+}
+
+/// `Value::sql_cmp` for an `i64`-mapped value against a float. `Bool`
+/// and `Date` do not compare with `Float` (scalar table: `None`).
+#[inline]
+fn ord_i64_f64(k: LaneKind, a: i64, b: f64) -> Option<Ordering> {
+    match k {
+        LaneKind::Int => (a as f64).partial_cmp(&b),
+        LaneKind::Decimal => (a as f64 / 100.0).partial_cmp(&b),
+        LaneKind::Bool | LaneKind::Date => None,
+    }
+}
+
+#[inline]
+fn truth_of(op: CmpOp, ord: Option<Ordering>) -> Truth {
+    match ord {
+        Some(ord) => Truth::from_bool(op.eval(ord)),
+        None => Truth::Unknown,
+    }
+}
+
+/// A literal classified for lane-typed comparison.
+enum ConstSide {
+    I64(LaneKind, i64),
+    F64(f64),
+    Null,
+    Other,
+}
+
+fn classify(v: &Value) -> ConstSide {
+    match v {
+        Value::Null => ConstSide::Null,
+        Value::Bool(b) => ConstSide::I64(LaneKind::Bool, i64::from(*b)),
+        Value::Int(i) => ConstSide::I64(LaneKind::Int, *i),
+        Value::Decimal(d) => ConstSide::I64(LaneKind::Decimal, *d),
+        Value::Date(d) => ConstSide::I64(LaneKind::Date, i64::from(*d)),
+        Value::Float(f) => ConstSide::F64(*f),
+        Value::Str(_) => ConstSide::Other,
+    }
+}
+
+/// Vectorized `a op b`, one [`Truth`] per batch row appended to `out`.
+fn cmp_cols(batch: &ValueBatch<'_>, a: &ExprCol, op: CmpOp, b: &ExprCol, out: &mut Vec<Truth>) {
+    let n = batch.len();
+    match (a, b) {
+        (ExprCol::Col(i), ExprCol::Col(j)) => match (batch.lane(*i), batch.lane(*j)) {
+            (
+                Some(Lane::I64 {
+                    kind: ka,
+                    vals: va,
+                    valid: la,
+                }),
+                Some(Lane::I64 {
+                    kind: kb,
+                    vals: vb,
+                    valid: lb,
+                }),
+            ) => {
+                for r in 0..n {
+                    out.push(if la.get(r) && lb.get(r) {
+                        truth_of(op, ord_i64(*ka, va[r], *kb, vb[r]))
+                    } else {
+                        Truth::Unknown
+                    });
+                }
+            }
+            (
+                Some(Lane::I64 {
+                    kind: ka,
+                    vals: va,
+                    valid: la,
+                }),
+                Some(Lane::F64 {
+                    vals: vb,
+                    valid: lb,
+                }),
+            ) => {
+                for r in 0..n {
+                    out.push(if la.get(r) && lb.get(r) {
+                        truth_of(op, ord_i64_f64(*ka, va[r], vb[r]))
+                    } else {
+                        Truth::Unknown
+                    });
+                }
+            }
+            (
+                Some(Lane::F64 {
+                    vals: va,
+                    valid: la,
+                }),
+                Some(Lane::I64 {
+                    kind: kb,
+                    vals: vb,
+                    valid: lb,
+                }),
+            ) => {
+                // `a θ b ⇔ b θ.flip() a`; reuse the i64-vs-f64 kernel.
+                for r in 0..n {
+                    out.push(if la.get(r) && lb.get(r) {
+                        truth_of(op.flip(), ord_i64_f64(*kb, vb[r], va[r]))
+                    } else {
+                        Truth::Unknown
+                    });
+                }
+            }
+            (
+                Some(Lane::F64 {
+                    vals: va,
+                    valid: la,
+                }),
+                Some(Lane::F64 {
+                    vals: vb,
+                    valid: lb,
+                }),
+            ) => {
+                for r in 0..n {
+                    out.push(if la.get(r) && lb.get(r) {
+                        truth_of(op, va[r].partial_cmp(&vb[r]))
+                    } else {
+                        Truth::Unknown
+                    });
+                }
+            }
+            _ => cmp_generic(batch, a, op, b, out),
+        },
+        (ExprCol::Col(i), ExprCol::Const(v)) => {
+            cmp_lane_const(batch, *i, op, v, out);
+        }
+        (ExprCol::Const(v), ExprCol::Col(j)) => {
+            // Swap operands, flip the operator.
+            cmp_lane_const(batch, *j, op.flip(), v, out);
+        }
+        _ => cmp_generic(batch, a, op, b, out),
+    }
+}
+
+/// `lane(col) op const` (operands already oriented lane-first).
+fn cmp_lane_const(batch: &ValueBatch<'_>, col: usize, op: CmpOp, v: &Value, out: &mut Vec<Truth>) {
+    let n = batch.len();
+    match (batch.lane(col), classify(v)) {
+        (_, ConstSide::Null) => {
+            // Anything compared with NULL is unknown, valid or not.
+            out.resize(out.len() + n, Truth::Unknown);
+        }
+        (Some(Lane::I64 { kind, vals, valid }), ConstSide::I64(kc, c)) => {
+            for (r, &val) in vals.iter().enumerate().take(n) {
+                out.push(if valid.get(r) {
+                    truth_of(op, ord_i64(*kind, val, kc, c))
+                } else {
+                    Truth::Unknown
+                });
+            }
+        }
+        (Some(Lane::I64 { kind, vals, valid }), ConstSide::F64(c)) => {
+            for (r, &val) in vals.iter().enumerate().take(n) {
+                out.push(if valid.get(r) {
+                    truth_of(op, ord_i64_f64(*kind, val, c))
+                } else {
+                    Truth::Unknown
+                });
+            }
+        }
+        (Some(Lane::F64 { vals, valid }), ConstSide::F64(c)) => {
+            for (r, &val) in vals.iter().enumerate().take(n) {
+                out.push(if valid.get(r) {
+                    truth_of(op, val.partial_cmp(&c))
+                } else {
+                    Truth::Unknown
+                });
+            }
+        }
+        (Some(Lane::F64 { vals, valid }), ConstSide::I64(kc, c)) => {
+            for (r, &val) in vals.iter().enumerate().take(n) {
+                out.push(if valid.get(r) {
+                    truth_of(op.flip(), ord_i64_f64(kc, c, val))
+                } else {
+                    Truth::Unknown
+                });
+            }
+        }
+        _ => {
+            for r in 0..n {
+                out.push(batch.value(r, col).sql_compare(op, v));
+            }
+        }
+    }
+}
+
+/// Row-at-a-time fallback: exactly `left.sql_compare(op, right)` per row.
+fn cmp_generic(batch: &ValueBatch<'_>, a: &ExprCol, op: CmpOp, b: &ExprCol, out: &mut Vec<Truth>) {
+    for r in 0..batch.len() {
+        out.push(a.value(batch, r).sql_compare(op, b.value(batch, r)));
+    }
+}
+
+fn maybe_not(t: Truth, negated: bool) -> Truth {
+    if negated {
+        t.not()
+    } else {
+        t
+    }
+}
+
+/// Null-ness of a resolved expression per row; typed lanes answer from
+/// the validity bitmap without touching row storage.
+fn nulls_of(batch: &ValueBatch<'_>, e: &ExprCol, out: &mut Vec<bool>) {
+    match e {
+        ExprCol::Col(i) => match batch.lane(*i) {
+            Some(Lane::I64 { valid, .. }) => push_invalid(valid, out),
+            Some(Lane::F64 { valid, .. }) => push_invalid(valid, out),
+            _ => {
+                for r in 0..batch.len() {
+                    out.push(batch.value(r, *i).is_null());
+                }
+            }
+        },
+        ExprCol::Const(v) => out.resize(out.len() + batch.len(), v.is_null()),
+        ExprCol::Owned(vs) => out.extend(vs.iter().map(Value::is_null)),
+    }
+}
+
+fn push_invalid(valid: &Validity, out: &mut Vec<bool>) {
+    for r in 0..valid.len() {
+        out.push(!valid.get(r));
+    }
+}
+
+/// Evaluate `pred` over every row of `batch`, returning one [`Truth`]
+/// per row — the columnar equivalent of mapping `CPred::eval`.
+pub fn eval_pred(pred: &CPred, batch: &ValueBatch<'_>) -> Vec<Truth> {
+    let mut out = Vec::with_capacity(batch.len());
+    eval_into(pred, batch, &mut out);
+    out
+}
+
+fn eval_into(pred: &CPred, batch: &ValueBatch<'_>, out: &mut Vec<Truth>) {
+    let n = batch.len();
+    match pred {
+        CPred::Cmp { left, op, right } => {
+            let a = eval_expr_column(left, batch);
+            let b = eval_expr_column(right, batch);
+            cmp_cols(batch, &a, *op, &b, out);
+        }
+        CPred::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let v = eval_expr_column(expr, batch);
+            let lo = eval_expr_column(low, batch);
+            let hi = eval_expr_column(high, batch);
+            let mut ge = Vec::with_capacity(n);
+            cmp_cols(batch, &v, CmpOp::Ge, &lo, &mut ge);
+            let mut le = Vec::with_capacity(n);
+            cmp_cols(batch, &v, CmpOp::Le, &hi, &mut le);
+            out.extend(
+                ge.into_iter()
+                    .zip(le)
+                    .map(|(a, b)| maybe_not(a.and(b), *negated)),
+            );
+        }
+        CPred::IsNull { expr, negated } => {
+            let e = eval_expr_column(expr, batch);
+            let mut nulls = Vec::with_capacity(n);
+            nulls_of(batch, &e, &mut nulls);
+            // IS [NOT] NULL is two-valued.
+            out.extend(nulls.into_iter().map(|b| Truth::from_bool(b != *negated)));
+        }
+        CPred::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            // Kleene or-fold over the list; or is commutative and
+            // absorbing on TRUE, so this matches the row evaluator's
+            // early break.
+            let v = eval_expr_column(expr, batch);
+            let mut acc = vec![Truth::False; n];
+            let mut tmp = Vec::with_capacity(n);
+            for e in list {
+                let ec = eval_expr_column(e, batch);
+                tmp.clear();
+                cmp_cols(batch, &v, CmpOp::Eq, &ec, &mut tmp);
+                for (a, t) in acc.iter_mut().zip(&tmp) {
+                    *a = a.or(*t);
+                }
+            }
+            out.extend(acc.into_iter().map(|t| maybe_not(t, *negated)));
+        }
+        CPred::And(a, b) => {
+            let ta = eval_pred(a, batch);
+            let tb = eval_pred(b, batch);
+            out.extend(ta.into_iter().zip(tb).map(|(x, y)| x.and(y)));
+        }
+        CPred::Or(a, b) => {
+            let ta = eval_pred(a, batch);
+            let tb = eval_pred(b, batch);
+            out.extend(ta.into_iter().zip(tb).map(|(x, y)| x.or(y)));
+        }
+        CPred::Not(p) => {
+            let t = eval_pred(p, batch);
+            out.extend(t.into_iter().map(Truth::not));
+        }
+        CPred::Const(t) => out.resize(out.len() + n, *t),
+    }
+}
+
+/// The rows of `batch` where `pred` is `TRUE`, as a selection vector.
+pub fn select_rows(pred: &CPred, batch: &ValueBatch<'_>) -> SelVec {
+    SelVec::from_truths(&eval_pred(pred, batch))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nra_storage::Tuple;
+
+    fn col(i: usize) -> CExpr {
+        CExpr::Col(i)
+    }
+
+    fn lit(v: Value) -> CExpr {
+        CExpr::Lit(v)
+    }
+
+    /// The reference: row-at-a-time `CPred::eval` over every row.
+    fn reference(pred: &CPred, rows: &[Tuple]) -> Vec<Truth> {
+        rows.iter().map(|r| pred.eval(r)).collect()
+    }
+
+    fn check(pred: &CPred, rows: &[Tuple], width: usize, cols: &[usize]) {
+        let batch = ValueBatch::with_columns(rows, width, cols);
+        assert_eq!(eval_pred(pred, &batch), reference(pred, rows), "{pred:?}");
+    }
+
+    #[test]
+    fn typed_cmp_matches_reference() {
+        let rows: Vec<Tuple> = vec![
+            vec![Value::Int(1), Value::Int(5)],
+            vec![Value::Int(7), Value::Null],
+            vec![Value::Null, Value::Int(2)],
+            vec![Value::Int(3), Value::Int(3)],
+        ];
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
+            let p = CPred::Cmp {
+                left: col(0),
+                op,
+                right: col(1),
+            };
+            check(&p, &rows, 2, &[0, 1]);
+            let p2 = CPred::Cmp {
+                left: col(0),
+                op,
+                right: lit(Value::Int(3)),
+            };
+            check(&p2, &rows, 2, &[0, 1]);
+            let p3 = CPred::Cmp {
+                left: lit(Value::Int(3)),
+                op,
+                right: col(1),
+            };
+            check(&p3, &rows, 2, &[0, 1]);
+        }
+    }
+
+    #[test]
+    fn int_decimal_rescale_and_overflow() {
+        let big = i64::MAX / 50; // overflows when scaled by 100
+        let rows: Vec<Tuple> = vec![
+            vec![Value::Int(5), Value::Decimal(500)],
+            vec![Value::Int(big), Value::Decimal(0)],
+            vec![Value::Int(-2), Value::Decimal(-150)],
+        ];
+        let p = CPred::Cmp {
+            left: col(0),
+            op: CmpOp::Gt,
+            right: col(1),
+        };
+        // Mixed Int/Decimal columns fall back per-lane, but a literal
+        // against an Int lane exercises the typed rescale path:
+        check(&p, &rows, 2, &[0, 1]);
+        let p2 = CPred::Cmp {
+            left: col(0),
+            op: CmpOp::Eq,
+            right: lit(Value::Decimal(500)),
+        };
+        check(&p2, &rows, 2, &[0]);
+        let overflow = CPred::Cmp {
+            left: lit(Value::Int(big)),
+            op: CmpOp::Lt,
+            right: col(1),
+        };
+        check(&overflow, &rows, 2, &[1]);
+    }
+
+    #[test]
+    fn float_lanes_and_nan() {
+        let rows: Vec<Tuple> = vec![
+            vec![Value::Float(1.5), Value::Float(2.5)],
+            vec![Value::Float(f64::NAN), Value::Float(0.0)],
+            vec![Value::Null, Value::Float(-1.0)],
+            vec![Value::Float(3.0), Value::Null],
+        ];
+        for op in [CmpOp::Eq, CmpOp::Lt, CmpOp::Ge] {
+            let p = CPred::Cmp {
+                left: col(0),
+                op,
+                right: col(1),
+            };
+            check(&p, &rows, 2, &[0, 1]);
+            let p2 = CPred::Cmp {
+                left: col(0),
+                op,
+                right: lit(Value::Int(2)),
+            };
+            check(&p2, &rows, 2, &[0]);
+            let p3 = CPred::Cmp {
+                left: col(1),
+                op,
+                right: lit(Value::Decimal(50)),
+            };
+            check(&p3, &rows, 2, &[1]);
+        }
+    }
+
+    #[test]
+    fn incomparable_kinds_are_unknown() {
+        let rows: Vec<Tuple> = vec![
+            vec![Value::Bool(true), Value::Date(10)],
+            vec![Value::Bool(false), Value::Date(10)],
+        ];
+        let p = CPred::Cmp {
+            left: col(0),
+            op: CmpOp::Eq,
+            right: col(1),
+        };
+        check(&p, &rows, 2, &[0, 1]);
+        let p2 = CPred::Cmp {
+            left: col(1),
+            op: CmpOp::Lt,
+            right: lit(Value::Float(5.0)),
+        };
+        check(&p2, &rows, 2, &[1]);
+        let p3 = CPred::Cmp {
+            left: col(0),
+            op: CmpOp::Eq,
+            right: lit(Value::str("x")),
+        };
+        check(&p3, &rows, 2, &[0]);
+    }
+
+    #[test]
+    fn between_in_list_is_null_compose() {
+        let rows: Vec<Tuple> = vec![
+            vec![Value::Int(5)],
+            vec![Value::Null],
+            vec![Value::Int(11)],
+            vec![Value::Int(1)],
+        ];
+        let between = CPred::Between {
+            expr: col(0),
+            low: lit(Value::Int(1)),
+            high: lit(Value::Int(10)),
+            negated: true,
+        };
+        check(&between, &rows, 1, &[0]);
+        let inlist = CPred::InList {
+            expr: col(0),
+            list: vec![lit(Value::Int(1)), lit(Value::Null), lit(Value::Int(11))],
+            negated: true,
+        };
+        check(&inlist, &rows, 1, &[0]);
+        let isnull = CPred::IsNull {
+            expr: col(0),
+            negated: false,
+        };
+        check(&isnull, &rows, 1, &[0]);
+        let compound = CPred::Or(
+            Box::new(CPred::Not(Box::new(between))),
+            Box::new(CPred::And(Box::new(inlist), Box::new(isnull))),
+        );
+        check(&compound, &rows, 1, &[0]);
+    }
+
+    #[test]
+    fn empty_batch_and_all_false_selection() {
+        let rows: Vec<Tuple> = vec![];
+        let batch = ValueBatch::with_columns(&rows, 1, &[0]);
+        let p = CPred::Const(Truth::True);
+        assert!(eval_pred(&p, &batch).is_empty());
+        assert!(select_rows(&p, &batch).is_empty());
+
+        let rows2: Vec<Tuple> = vec![vec![Value::Int(1)], vec![Value::Null]];
+        let batch2 = ValueBatch::with_columns(&rows2, 1, &[0]);
+        let never = CPred::Cmp {
+            left: col(0),
+            op: CmpOp::Lt,
+            right: lit(Value::Int(-100)),
+        };
+        let sel = select_rows(&never, &batch2);
+        assert!(sel.is_empty(), "all-false/unknown selects nothing");
+    }
+
+    #[test]
+    fn arithmetic_falls_back_row_wise() {
+        use nra_sql::ArithOp;
+        let rows: Vec<Tuple> = vec![
+            vec![Value::Int(5), Value::Int(2)],
+            vec![Value::Null, Value::Int(3)],
+            vec![Value::Int(9), Value::Null],
+        ];
+        let sum = CExpr::Arith {
+            op: ArithOp::Add,
+            left: Box::new(col(0)),
+            right: Box::new(col(1)),
+        };
+        let p = CPred::Cmp {
+            left: sum,
+            op: CmpOp::Gt,
+            right: lit(Value::Int(6)),
+        };
+        check(&p, &rows, 2, &[0, 1]);
+    }
+}

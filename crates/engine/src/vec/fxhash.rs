@@ -1,0 +1,139 @@
+//! A vendored, zero-dependency FxHash-style hasher.
+//!
+//! `std::collections::HashMap` defaults to SipHash-1-3, a keyed hash
+//! hardened against HashDoS. The engine's hash-join builds and ν-nest /
+//! set-operation grouping tables hash only values the engine itself
+//! produced, so that hardening buys nothing and costs a long dependency
+//! chain of rounds per key. This is the multiply-xor-rotate hash used by
+//! the Rust compiler (widely known as FxHash): a couple of arithmetic
+//! instructions per 8 bytes, no external crate.
+//!
+//! Determinism note: the hasher is unkeyed, so hashes are stable across
+//! runs and threads — but no engine output may depend on map *iteration*
+//! order anyway (emission orders are driven by row scan order and
+//! first-insertion bookkeeping). Swapping the hasher therefore changes
+//! no result bytes and no profile counters; `hash_entries`/`hash_bytes`
+//! count logical entries and bytes, not hasher internals.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit seed constant (π-derived, from the rustc/firefox lineage).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The FxHash state: `hash = (hash.rotate_left(5) ^ word) * SEED` per
+/// machine word.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(&bytes[..8]);
+            self.add_to_hash(u64::from_le_bytes(word));
+            bytes = &bytes[8..];
+        }
+        if bytes.len() >= 4 {
+            let mut word = [0u8; 4];
+            word.copy_from_slice(&bytes[..4]);
+            self.add_to_hash(u64::from(u32::from_le_bytes(word)));
+            bytes = &bytes[4..];
+        }
+        for &b in bytes {
+            self.add_to_hash(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]; plug into any `HashMap`/`HashSet`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`] — the engine-standard table for
+/// hash-join builds and hash-grouping.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<K> = HashSet<K, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn fx_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(fx_of(&42u64), fx_of(&42u64));
+        assert_eq!(fx_of(&"subquery"), fx_of(&"subquery"));
+        assert_ne!(fx_of(&1u64), fx_of(&2u64));
+    }
+
+    #[test]
+    fn byte_stream_chunking_is_consistent() {
+        // write() must consume 8/4/1-byte chunks deterministically.
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13]);
+        assert_eq!(a.finish(), b.finish());
+        assert_ne!(a.finish(), 0);
+    }
+
+    #[test]
+    fn map_and_set_work_with_group_keys() {
+        use nra_storage::{GroupKey, Value};
+        let mut m: FxHashMap<GroupKey, usize> = FxHashMap::default();
+        let k1 = GroupKey(vec![Value::Int(1), Value::Null]);
+        let k2 = GroupKey(vec![Value::Int(1), Value::Null]);
+        m.insert(k1, 7);
+        assert_eq!(m.get(&k2), Some(&7));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        s.insert(5);
+        assert!(s.contains(&5));
+    }
+}
