@@ -29,6 +29,9 @@
 //! * `--metrics <path>` — run the headline queries through the facade
 //!   with metrics collection and write the process-cumulative registry
 //!   as JSONL to `<path>`
+//! * `--slow-log <path>` — run the headline queries with a zero
+//!   slow-query threshold appending to `<path>`, then schema-validate
+//!   the whole log; non-zero exit on a malformed record
 //!
 //! Passing any unknown positional (e.g. `none`) selects no figures, so
 //! `experiments --scale 0.02 --record none` runs only the recorder.
@@ -82,6 +85,10 @@ struct Args {
     check_trajectory: bool,
     /// Write the process-cumulative metrics registry as JSONL here.
     metrics: Option<std::path::PathBuf>,
+    /// Run the headline queries with a zero slow-query threshold,
+    /// appending their records to this JSONL log, then schema-validate
+    /// the whole file; exit non-zero on a malformed record.
+    slow_log: Option<std::path::PathBuf>,
     figures: Vec<String>,
 }
 
@@ -100,6 +107,7 @@ fn parse_args() -> Args {
         trajectory: None,
         check_trajectory: false,
         metrics: None,
+        slow_log: None,
         figures: vec![],
     };
     let mut it = std::env::args().skip(1);
@@ -141,6 +149,13 @@ fn parse_args() -> Args {
                     it.next()
                         .map(std::path::PathBuf::from)
                         .expect("--metrics takes a path"),
+                )
+            }
+            "--slow-log" => {
+                args.slow_log = Some(
+                    it.next()
+                        .map(std::path::PathBuf::from)
+                        .expect("--slow-log takes a path"),
                 )
             }
             "--threads" => {
@@ -456,6 +471,9 @@ fn main() {
     if let Some(path) = &args.metrics {
         write_metrics(path, &strict, &nullable, &args);
     }
+    if let Some(path) = &args.slow_log {
+        write_slow_log(path, &strict, &nullable, &args);
+    }
     if args.profile || args.baseline_write || args.baseline_check {
         let profiles = collect_profiles(&strict, &nullable, &args);
         if args.profile {
@@ -651,6 +669,36 @@ fn write_metrics(path: &std::path::Path, strict: &Catalog, nullable: &Catalog, a
     let snapshot = nra::obs::metrics::global().snapshot();
     std::fs::write(path, snapshot.to_jsonl()).expect("write metrics export");
     println!("- wrote {}\n", path.display());
+}
+
+/// `--slow-log <path>`: run the headline queries with a zero slow-query
+/// threshold (every query logs) appending to `path`, then re-parse the
+/// whole file against the record schema — the CI gate that keeps the
+/// slow-query log machine-readable.
+fn write_slow_log(path: &std::path::Path, strict: &Catalog, nullable: &Catalog, args: &Args) {
+    for (name, cat, sql) in headline_queries(strict, nullable, args.scale) {
+        let db = nra::Database::from_catalog(cat.clone());
+        db.execute(
+            &sql,
+            &nra::QueryOptions::new()
+                .strategy(nra::Strategy::Original)
+                .collect_profile(true)
+                .slow_ms(0)
+                .slow_log(path),
+        )
+        .unwrap_or_else(|e| panic!("headline query {name} runs: {e}"));
+    }
+    let contents = std::fs::read_to_string(path).expect("read slow-query log");
+    match nra::obs::slowlog::validate_lines(&contents) {
+        Ok(n) => println!(
+            "- slow-query log {} valid ({n} record(s))\n",
+            path.display()
+        ),
+        Err(e) => {
+            eprintln!("slow-query log {} INVALID: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
 }
 
 /// `--baseline-check`: exact diff on counters and I/O pages, tolerance

@@ -249,7 +249,7 @@ impl TreeExpr {
         profile: &nra_obs::Profile,
         estimates: Option<&crate::cardinality::CardEstimates>,
     ) -> String {
-        let ann = |key: &str| annotate(op_for(profile, key), estimates.and_then(|e| e.get(key)));
+        let ann = |key: &str| annotate(op_for(profile, key), estimates.map(|e| e.get(key)));
         let mut out = String::new();
         out.push_str(&format!("π (root select){}\n", ann("project")));
         fn edges(node: &TreeNode, depth: usize, ann: &dyn Fn(&str) -> String, out: &mut String) {
@@ -332,10 +332,13 @@ fn fmt_ns(ns: u64) -> String {
 }
 
 /// The parenthesized annotation appended to a plan node. The estimated
-/// cardinality (when the planner supplied one) renders last, as
-/// `est=… act=… (×err)` with the node's Q-error, so the leading
-/// `rows=…, time` fields keep their positions.
-fn annotate(stats: Option<nra_obs::OpStats>, est: Option<u64>) -> String {
+/// cardinality renders last, as `est=… act=… (×err)` with the node's
+/// Q-error, so the leading `rows=…, time` fields keep their positions.
+/// `est` is two-level: `None` means no estimates were supplied at all
+/// (plain `EXPLAIN ANALYZE`); `Some(None)` means the planner supplied
+/// estimates but covered no such node — rendered as the explicit
+/// `est=?` placeholder so coverage gaps are visible, not silent.
+fn annotate(stats: Option<nra_obs::OpStats>, est: Option<Option<u64>>) -> String {
     let Some(s) = stats else {
         return "  (not executed)".to_string();
     };
@@ -358,13 +361,17 @@ fn annotate(stats: Option<nra_obs::OpStats>, est: Option<u64>) -> String {
     if s.padded > 0 {
         parts.push(format!("padded={}", s.padded));
     }
-    if let Some(e) = est {
-        let q = crate::cardinality::qerror_x100(e, s.rows_out);
-        parts.push(format!(
-            "est={e} act={} (×{:.1})",
-            s.rows_out,
-            q as f64 / 100.0
-        ));
+    match est {
+        Some(Some(e)) => {
+            let q = crate::cardinality::qerror_x100(e, s.rows_out);
+            parts.push(format!(
+                "est={e} act={} (×{:.1})",
+                s.rows_out,
+                q as f64 / 100.0
+            ));
+        }
+        Some(None) => parts.push(format!("est=? act={}", s.rows_out)),
+        None => {}
     }
     format!("  ({})", parts.join(", "))
 }

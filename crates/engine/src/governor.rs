@@ -257,6 +257,10 @@ fn charge_armed(site: &str, bytes: u64) -> Result<(), EngineError> {
         }
         PENDING.with(|p| p.set(0));
         let total = g.mem_used.fetch_add(pending, Ordering::Relaxed) + pending;
+        // Live-progress hook: the flushed running total is the best
+        // cross-thread memory figure available, published at flush-step
+        // granularity (only memory-armed queries reach this path).
+        nra_obs::progress::on_mem(total);
         let limit = g.mem_limit.unwrap_or(u64::MAX);
         if total > limit {
             nra_obs::trace::emit(|| nra_obs::trace::TraceEvent::Governor {
@@ -334,10 +338,20 @@ pub fn checkpoint(phase: &str) -> Result<(), EngineError> {
 
 /// [`checkpoint`], but only on every [`CHECK_ROWS`]-th iteration — the
 /// cadence sequential scan loops use (`governor::tick(i, "phase")?`).
+///
+/// The cadence doubles as the live-progress heartbeat: each firing past
+/// the loop head reports one whole [`CHECK_ROWS`] step to the installed
+/// [`nra_obs::progress`] state (a no-op when none is installed). Whole
+/// steps only — the tail of a loop is never counted here — so the
+/// progress row counter undercounts monotonically and never overshoots,
+/// while operator counters are untouched either way.
 #[inline]
 pub fn tick(i: usize, phase: &str) -> Result<(), EngineError> {
     if !i.is_multiple_of(CHECK_ROWS) {
         return Ok(());
+    }
+    if i > 0 {
+        nra_obs::progress::on_rows(CHECK_ROWS as u64, phase);
     }
     checkpoint(phase)
 }

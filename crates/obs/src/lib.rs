@@ -32,6 +32,9 @@
 
 pub mod json;
 pub mod metrics;
+pub mod progress;
+pub mod queryreg;
+pub mod slowlog;
 pub mod trace;
 
 use std::cell::RefCell;
@@ -433,6 +436,10 @@ pub struct Handoff {
     /// threads record into the same `Arc`'d registry, and every metric
     /// operation commutes, so the result is thread-count-invariant.
     query_metrics: Option<std::sync::Arc<metrics::Registry>>,
+    /// The parent's live progress state, shared the same way: worker row
+    /// ticks and memory high-water updates land in the same `Arc`'d
+    /// atomics the coordinator (or any observer thread) snapshots.
+    progress: Option<std::sync::Arc<progress::ProgressState>>,
 }
 
 impl Handoff {
@@ -442,16 +449,18 @@ impl Handoff {
             collecting: is_enabled(),
             scope: SCOPES.with(|s| s.borrow().last().cloned()),
             query_metrics: metrics::query_registry(),
+            progress: progress::current(),
         }
     }
 
     /// Run `f` on the current (worker) thread. When the parent was
     /// collecting, a fresh collector and the parent's scope are installed
     /// for the duration and the worker's profile is handed back. The
-    /// parent's per-query metrics registry (if any) is installed either
-    /// way.
+    /// parent's per-query metrics registry and progress state (if any)
+    /// are installed either way.
     pub fn run<T>(&self, f: impl FnOnce() -> T) -> (T, Option<Profile>) {
         let _metrics = metrics::install_query(self.query_metrics.clone());
+        let _progress = progress::install(self.progress.clone());
         if !self.collecting {
             return (f(), None);
         }

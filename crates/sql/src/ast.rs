@@ -301,9 +301,17 @@ pub struct TableRef {
 }
 
 impl TableRef {
-    /// The name this table is referenced by in the query.
+    /// The name this table is referenced by in the query: the alias when
+    /// one was given, else the table name with any schema qualifier
+    /// stripped (`nra_sys.queries` is referenced as `queries`).
     pub fn exposed(&self) -> &str {
-        self.alias.as_deref().unwrap_or(&self.table)
+        match &self.alias {
+            Some(a) => a,
+            None => self
+                .table
+                .rsplit_once('.')
+                .map_or(self.table.as_str(), |(_, t)| t),
+        }
     }
 }
 

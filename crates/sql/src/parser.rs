@@ -249,7 +249,15 @@ impl Parser {
     }
 
     fn table_ref(&mut self) -> Result<TableRef, SqlError> {
-        let table = self.ident()?;
+        let mut table = self.ident()?;
+        // Schema-qualified name (`nra_sys.queries`): the dotted pair is
+        // kept as one catalog name; the exposed name defaults to the
+        // part after the dot (see `TableRef::exposed`).
+        if self.peek_kind() == &TokenKind::Dot {
+            self.advance();
+            let name = self.ident()?;
+            table = format!("{table}.{name}");
+        }
         let alias =
             if self.eat_keyword(Keyword::As) || matches!(self.peek_kind(), TokenKind::Ident(_)) {
                 Some(self.ident()?)

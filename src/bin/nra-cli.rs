@@ -22,9 +22,16 @@
 //! :analyze <sql>                EXPLAIN ANALYZE: plan + measured stats
 //! :trace <sql>                  query-lifecycle trace (parse/bind/plan/execute)
 //! :metrics                      process-cumulative metrics (Prometheus text)
+//! :ps                           currently-running queries with live progress
+//! :history [n]                  last n completed queries (whole ring by default)
 //! :timing on|off                print execution time per query
 //! :quit
 //! ```
+//!
+//! The reserved `nra_sys` schema exposes the same introspection state to
+//! plain SQL: `select * from nra_sys.queries` (completed ring),
+//! `nra_sys.running`, `nra_sys.metrics`, `nra_sys.table_stats` and
+//! `nra_sys.operators`.
 //!
 //! `ANALYZE <table>` (plain SQL, no colon) gathers per-column statistics
 //! for the planner's cardinality estimator.
@@ -233,6 +240,43 @@ impl Shell {
                 "timing" => {
                     self.timing = args.eq_ignore_ascii_case("on");
                     println!("timing {}", if self.timing { "on" } else { "off" });
+                    Ok(())
+                }
+                "ps" => {
+                    let running = nra::obs::queryreg::global().running();
+                    if running.is_empty() {
+                        println!("(no queries running)");
+                    }
+                    for q in running {
+                        let s = q.progress.snapshot();
+                        println!(
+                            "{:>4}  {:>3}%  {:>8} ms  {}/{} rows  [{}]  {}",
+                            q.id,
+                            s.percent,
+                            s.elapsed_ms,
+                            s.rows_processed,
+                            s.rows_estimated,
+                            s.phase,
+                            q.sql
+                        );
+                    }
+                    Ok(())
+                }
+                "history" => {
+                    let mut completed = nra::obs::queryreg::global().completed();
+                    if let Ok(n) = args.trim().parse::<usize>() {
+                        let skip = completed.len().saturating_sub(n);
+                        completed.drain(..skip);
+                    }
+                    if completed.is_empty() {
+                        println!("(no completed queries yet)");
+                    }
+                    for r in completed {
+                        println!(
+                            "{:>4}  {:<18}  {:>8} ms  {:>8} rows  {} thread(s)  [{}]  {}",
+                            r.id, r.outcome, r.wall_ms, r.rows, r.threads, r.strategy, r.sql
+                        );
+                    }
                     Ok(())
                 }
                 other => Err(format!("unknown command `:{other}` (try :help)")),
@@ -469,6 +513,8 @@ const HELP: &str = "\
 :analyze <sql>                EXPLAIN ANALYZE: plan + measured stats
 :trace <sql>                  query-lifecycle trace (parse/bind/plan/execute)
 :metrics                      process-cumulative metrics (Prometheus text)
+:ps                           currently-running queries with live progress
+:history [n]                  last n completed queries (the whole ring by default)
 :timing on|off                print execution time per query
 :quit                         exit
-anything else                 executed as SQL";
+anything else                 executed as SQL (nra_sys.* system tables included)";

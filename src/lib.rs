@@ -55,6 +55,8 @@
 
 use std::fmt;
 
+mod sys;
+
 pub use nra_core as core;
 pub use nra_engine as engine;
 pub use nra_obs as obs;
@@ -159,6 +161,12 @@ pub struct QueryOptions {
     timeout_ms: Option<u64>,
     cancel: Option<CancelToken>,
     faults: Vec<(String, u64, FaultKind)>,
+    slow_ms: Option<u64>,
+    slow_log: Option<std::path::PathBuf>,
+    /// Set on the nested call that answers an `nra_sys.*` query: the
+    /// introspection query itself stays out of the query registry, the
+    /// progress tracker and the slow-query log (no self-recursion).
+    pub(crate) introspection: bool,
 }
 
 impl QueryOptions {
@@ -266,6 +274,25 @@ impl QueryOptions {
         self
     }
 
+    /// Slow-query threshold in milliseconds: a query whose wall time
+    /// reaches it is counted in `nra_slow_queries_total` and — when a
+    /// log path is configured via [`QueryOptions::slow_log`] or the
+    /// `NRA_SLOW_LOG` environment variable — appended to the JSONL
+    /// slow-query log (see [`obs::slowlog`]). `0` logs every query.
+    /// Falls back to the `NRA_SLOW_MS` environment variable when unset.
+    pub fn slow_ms(mut self, ms: u64) -> QueryOptions {
+        self.slow_ms = Some(ms);
+        self
+    }
+
+    /// Slow-query log destination for this call, overriding the
+    /// `NRA_SLOW_LOG` environment variable. Records are appended as
+    /// schema-validated JSONL ([`obs::slowlog::validate_lines`]).
+    pub fn slow_log(mut self, path: impl Into<std::path::PathBuf>) -> QueryOptions {
+        self.slow_log = Some(path.into());
+        self
+    }
+
     /// The [`Governor`] these options describe (environment overlays
     /// included); `None` when nothing is armed.
     fn governor(&self) -> Option<Governor> {
@@ -311,6 +338,10 @@ pub struct QueryOutcome {
     pub trace: Option<obs::trace::Trace>,
     /// The worker-thread budget the call ran with (1 = sequential).
     pub threads: usize,
+    /// The final progress snapshot (100% on success). `None` for
+    /// `explain_only`, `ANALYZE` and introspection (`nra_sys.*`) calls,
+    /// which skip progress tracking.
+    pub progress: Option<obs::progress::ProgressSnapshot>,
 }
 
 /// An in-memory database: a catalog plus query execution.
@@ -345,6 +376,11 @@ impl Database {
         columns: Vec<Column>,
         primary_key: &[&str],
     ) -> Result<(), NraError> {
+        if name == "nra_sys" || name.starts_with(sys::PREFIX) {
+            return Err(NraError::Sql(SqlError::bind(format!(
+                "`nra_sys` is a reserved schema; cannot create table `{name}`"
+            ))));
+        }
         let mut table = Table::new(name, Schema::new(columns));
         if !primary_key.is_empty() {
             table.set_primary_key(primary_key)?;
@@ -399,6 +435,16 @@ impl Database {
             return self.run_analyze(&table, threads);
         }
 
+        // A query touching the reserved `nra_sys` schema is answered by
+        // re-running it against an overlay catalog of materialized
+        // system-table snapshots — through this same entry point, with
+        // the introspection flag set so it never registers itself.
+        if !options.introspection && sys::mentions_sys(sql) {
+            if let Some(result) = sys::dispatch(self, sql, options) {
+                return result;
+            }
+        }
+
         if options.explain_only {
             return Ok(QueryOutcome {
                 rows: Relation::new(Schema::new(Vec::new())),
@@ -407,6 +453,7 @@ impl Database {
                 metrics: None,
                 trace: None,
                 threads,
+                progress: None,
             });
         }
 
@@ -435,6 +482,19 @@ impl Database {
             None
         };
         let started = std::time::Instant::now();
+
+        // Live progress + process-wide registry: install a progress
+        // estimator on this thread (propagated to workers through the
+        // observability handoff) and publish the query in the running
+        // table. The governor's row-checkpoint cadence feeds it, so the
+        // bookkeeping is batch-amortized — operator counters are
+        // untouched and stay byte-identical.
+        let progress = (!options.introspection)
+            .then(|| std::sync::Arc::new(obs::progress::ProgressState::new()));
+        let _progress_guard = obs::progress::install(progress.clone());
+        let query_id = progress
+            .as_ref()
+            .map(|p| obs::queryreg::global().register(sql, p.clone()));
 
         // Per-operator stats feed `outcome.profile`, the derived per-query
         // metrics, and the Q-error actuals behind the trace's
@@ -526,6 +586,7 @@ impl Database {
             (Some(_), Ok((_, Some(bound)))) => Some(nra_core::estimate(bound, &self.catalog)),
             _ => None,
         };
+        let mut qerror_max_x100 = 0;
         if let (Some(p), Some(est)) = (&profile, &estimates) {
             let mut qerrs = Vec::new();
             for (key, e) in est.iter() {
@@ -537,6 +598,7 @@ impl Database {
                 let max_x100 = qerrs.iter().copied().max().unwrap_or(100);
                 let mean_x100 = qerrs.iter().sum::<u64>() / qerrs.len() as u64;
                 let nodes = qerrs.len();
+                qerror_max_x100 = max_x100;
                 trace::emit(|| TraceEvent::QErrorSummary {
                     nodes,
                     max_x100,
@@ -571,6 +633,49 @@ impl Database {
             metrics::both(|m| record_op_metrics(m, p));
         }
 
+        // Final progress + registry completion: force the snapshot to
+        // 100% with the profile's row totals as the processed count
+        // (the governor-cadence ticks undercount by design), then move
+        // the query from the running table into the completed ring.
+        let wall_ms = started.elapsed().as_millis() as u64;
+        let result_rows = match &result {
+            Ok((rel, _)) => rel.len() as u64,
+            Err(_) => 0,
+        };
+        let mem_high_water = gov_arc.as_ref().map(|g| g.mem_used()).unwrap_or(0);
+        let strategy = strategy_label(
+            options.engine,
+            result.as_ref().ok().and_then(|(_, b)| b.as_ref()),
+        );
+        if let Some(p) = &progress {
+            p.raise_mem(mem_high_water);
+            let processed = profile
+                .as_ref()
+                .map(|pr| pr.ops.iter().map(|(_, s)| s.rows_in).sum::<u64>())
+                .unwrap_or(0);
+            p.finish(
+                processed,
+                if result.is_ok() {
+                    "done"
+                } else {
+                    outcome_label
+                },
+            );
+        }
+        if let Some(id) = query_id {
+            obs::queryreg::global().complete(obs::queryreg::QueryRecord {
+                id,
+                sql: obs::queryreg::normalize_sql(sql),
+                outcome: outcome_label.to_string(),
+                wall_ms,
+                rows: result_rows,
+                threads: threads as u64,
+                qerror_x100: qerror_max_x100,
+                mem_bytes: mem_high_water,
+                strategy: strategy.to_string(),
+            });
+        }
+
         let trace = trace_handle.map(|handle| {
             if let Ok((rel, _)) = &result {
                 let rows = rel.len() as u64;
@@ -597,7 +702,56 @@ impl Database {
                 .and_then(|mut f| f.write_all(snap.to_jsonl().as_bytes()));
         }
 
-        let (rows, bound) = result?;
+        // Slow-query log: threshold from the options or `NRA_SLOW_MS`
+        // (`0` logs everything). Failed queries are logged too, without
+        // plan text — they are exactly when the record matters.
+        let slow_threshold = options.slow_ms.or_else(obs::slowlog::env_threshold_ms);
+        let slow = progress.is_some() && slow_threshold.is_some_and(|t| wall_ms >= t);
+        if slow {
+            metrics::both(|m| m.counter_add("nra_slow_queries_total", &[], 1));
+        }
+        let slow_path = slow
+            .then(|| {
+                options
+                    .slow_log
+                    .clone()
+                    .or_else(|| obs::slowlog::env_log_path().map(Into::into))
+            })
+            .flatten();
+        let emit_slow = |plan: Option<&str>, log_profile: Option<&obs::Profile>| {
+            let (Some(path), Some(p)) = (&slow_path, &progress) else {
+                return;
+            };
+            let statement = obs::queryreg::normalize_sql(sql);
+            let snapshot = p.snapshot();
+            let record = obs::slowlog::SlowRecord {
+                statement: &statement,
+                outcome: outcome_label,
+                wall_ms,
+                threads: threads as u64,
+                rows: result_rows,
+                strategy,
+                mem_bytes: mem_high_water,
+                plan,
+                profile: log_profile,
+                progress: &snapshot,
+            };
+            use std::io::Write;
+            let _ = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .and_then(|mut f| f.write_all(record.to_jsonl().as_bytes()));
+        };
+
+        let (rows, bound) = match result {
+            Ok(v) => v,
+            Err(e) => {
+                emit_slow(None, profile.as_ref());
+                return Err(e);
+            }
+        };
+        let log_profile = profile.clone();
         let profile = profile.filter(|_| options.collect_profile);
 
         // The analyzed plan is rendered only when the executed pipeline
@@ -624,6 +778,8 @@ impl Database {
             _ => None,
         };
 
+        emit_slow(plan.as_deref(), log_profile.as_ref());
+
         Ok(QueryOutcome {
             rows,
             plan,
@@ -631,6 +787,7 @@ impl Database {
             metrics: metrics_snapshot,
             trace,
             threads,
+            progress: progress.as_ref().map(|p| p.snapshot()),
         })
     }
 
@@ -654,6 +811,7 @@ impl Database {
             metrics: None,
             trace: None,
             threads,
+            progress: None,
         })
     }
 
@@ -668,6 +826,13 @@ impl Database {
         let query = nra_sql::parse_query(sql)?;
         let bound_first = nra_sql::bind(&query.first, &self.catalog)?;
         let single = query.compounds.is_empty();
+        // Seed the progress denominator from the planner's cardinality
+        // estimates for the first block (compound arms only add to the
+        // numerator, which the 99%-cap before `finish` absorbs).
+        if let Some(p) = obs::progress::current() {
+            let est = nra_core::estimate(&bound_first, &self.catalog);
+            p.set_estimated(est.iter().map(|(_, v)| v).sum());
+        }
         let mut exec_phase = obs::trace::phase(|| "execute".to_string());
         let mut rel = self.run_bound(&bound_first, engine)?;
         for part in &query.compounds {
@@ -763,6 +928,31 @@ impl Database {
         Ok(format!(
             "nested relational: {nr}; baseline (System A): {baseline}{suffix}"
         ))
+    }
+}
+
+/// Short machine-readable name of the strategy a query ran with, for
+/// the query registry and slow-query log. `Auto` is resolved to the
+/// concrete strategy when the bound query is available (single-statement
+/// successes); otherwise it stays `auto`.
+fn strategy_label(engine: Engine, bound: Option<&BoundQuery>) -> &'static str {
+    match engine {
+        Engine::Baseline => "baseline",
+        Engine::Reference => "reference",
+        Engine::NestedRelational(s) => {
+            let s = match (s, bound) {
+                (Strategy::Auto, Some(b)) => nra_core::auto_strategy(b),
+                (s, _) => s,
+            };
+            match s {
+                Strategy::Auto => "auto",
+                Strategy::Original => "original",
+                Strategy::Optimized => "optimized",
+                Strategy::BottomUp => "bottom-up",
+                Strategy::BottomUpPushdown => "bottom-up-pushdown",
+                Strategy::PositiveRewrite => "positive-rewrite",
+            }
+        }
     }
 }
 

@@ -1,0 +1,350 @@
+//! The reserved `nra_sys` virtual schema: SQL-queryable introspection
+//! tables materialized on demand from live observability state.
+//!
+//! A query whose `FROM` clauses reference any `nra_sys.*` table is
+//! intercepted in [`Database::execute`](crate::Database::execute) and
+//! re-run against an *overlay* catalog: snapshots of the referenced
+//! system tables plus clones of whatever base tables the query also
+//! names. The overlay query goes through the ordinary engine — parser,
+//! binder, planner, the paper's nested relational strategies — so the
+//! introspection surface dogfoods the system it introspects.
+//!
+//! Available tables:
+//!
+//! * `nra_sys.queries` — the bounded ring of completed queries from the
+//!   process-wide [`queryreg`](nra_obs::queryreg) registry.
+//! * `nra_sys.running` — currently-executing queries with their live
+//!   progress snapshots (the future `SHOW PROCESSLIST`).
+//! * `nra_sys.metrics` — the process-cumulative metrics registry.
+//! * `nra_sys.table_stats` — per-column `ANALYZE` statistics of the
+//!   *base* catalog (one row per analyzed column).
+//! * `nra_sys.operators` — per-operator invocation/row totals pivoted
+//!   from the global metrics counters.
+//!
+//! Introspection queries run with the crate-private `introspection`
+//! flag set, which excludes them from the query registry, progress
+//! tracking and the slow-query log — querying `nra_sys.queries` must
+//! not insert itself into `nra_sys.queries` (no self-recursion).
+
+use std::collections::BTreeSet;
+
+use crate::{Database, NraError, QueryOptions, QueryOutcome};
+use nra_obs::metrics::{self, Metric};
+use nra_obs::queryreg;
+use nra_sql::{Predicate, Query, SelectStmt, SqlError};
+use nra_storage::{Catalog, Column, ColumnType, Schema, Table, Tuple, Value};
+
+/// The reserved schema prefix (with the trailing dot).
+pub(crate) const PREFIX: &str = "nra_sys.";
+
+/// Cheap textual gate: only queries that can possibly reference the
+/// system schema pay the extra parse in [`dispatch`].
+pub(crate) fn mentions_sys(sql: &str) -> bool {
+    sql.to_ascii_lowercase().contains("nra_sys")
+}
+
+/// Intercept `sql` if it references any `nra_sys.*` table: build the
+/// overlay catalog and execute against it. Returns `None` when the
+/// query does not touch the system schema (including when it fails to
+/// parse — the ordinary path owns error reporting).
+pub(crate) fn dispatch(
+    db: &Database,
+    sql: &str,
+    options: &QueryOptions,
+) -> Option<Result<QueryOutcome, NraError>> {
+    let query = nra_sql::parse_query(sql).ok()?;
+    let tables = referenced_tables(&query);
+    if !tables.iter().any(|t| t.starts_with(PREFIX)) {
+        return None;
+    }
+    Some(run(db, sql, options, &tables))
+}
+
+fn run(
+    db: &Database,
+    sql: &str,
+    options: &QueryOptions,
+    tables: &BTreeSet<String>,
+) -> Result<QueryOutcome, NraError> {
+    let mut overlay = Catalog::new();
+    for name in tables {
+        let table = match name.strip_prefix(PREFIX) {
+            Some(kind) => build_sys_table(db, name, kind)?,
+            None => db.catalog().table(name)?.clone(),
+        };
+        overlay.add_table(table)?;
+    }
+    let mut opts = options.clone();
+    opts.introspection = true;
+    Database::from_catalog(overlay).execute(sql, &opts)
+}
+
+/// Every table name appearing in a `FROM` clause anywhere in the query,
+/// subquery blocks included.
+fn referenced_tables(query: &Query) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    collect_stmt(&query.first, &mut out);
+    for part in &query.compounds {
+        collect_stmt(&part.stmt, &mut out);
+    }
+    out
+}
+
+fn collect_stmt(stmt: &SelectStmt, out: &mut BTreeSet<String>) {
+    for t in &stmt.from {
+        out.insert(t.table.clone());
+    }
+    if let Some(p) = &stmt.where_clause {
+        collect_pred(p, out);
+    }
+}
+
+fn collect_pred(p: &Predicate, out: &mut BTreeSet<String>) {
+    match p {
+        Predicate::And(a, b) | Predicate::Or(a, b) => {
+            collect_pred(a, out);
+            collect_pred(b, out);
+        }
+        Predicate::Not(inner) => collect_pred(inner, out),
+        Predicate::Exists { query, .. }
+        | Predicate::InSubquery { query, .. }
+        | Predicate::Quantified { query, .. }
+        | Predicate::CmpSubquery { query, .. } => collect_stmt(query, out),
+        Predicate::Cmp { .. }
+        | Predicate::Between { .. }
+        | Predicate::IsNull { .. }
+        | Predicate::InList { .. } => {}
+    }
+}
+
+fn build_sys_table(db: &Database, full_name: &str, kind: &str) -> Result<Table, NraError> {
+    Ok(match kind {
+        "queries" => queries_table(full_name),
+        "running" => running_table(full_name),
+        "metrics" => metrics_table(full_name),
+        "table_stats" => table_stats_table(full_name, db.catalog()),
+        "operators" => operators_table(full_name),
+        other => {
+            return Err(NraError::Sql(SqlError::bind(format!(
+                "unknown system table `nra_sys.{other}` \
+                 (available: queries, running, metrics, table_stats, operators)"
+            ))))
+        }
+    })
+}
+
+/// Snapshots are small and built from already-synchronized state, so
+/// the insert cannot fail; a schema/arity mismatch here is a bug.
+fn fill(mut table: Table, rows: Vec<Tuple>) -> Table {
+    table
+        .insert_many(rows)
+        .expect("system table rows match their schema");
+    table
+}
+
+fn int(v: u64) -> Value {
+    Value::Int(v as i64)
+}
+
+/// `nra_sys.queries`: the completed-query ring, oldest first.
+fn queries_table(name: &str) -> Table {
+    let table = Table::new(
+        name,
+        Schema::new(vec![
+            Column::not_null("id", ColumnType::Int),
+            Column::not_null("sql", ColumnType::Str),
+            Column::not_null("outcome", ColumnType::Str),
+            Column::not_null("wall_ms", ColumnType::Int),
+            Column::not_null("rows", ColumnType::Int),
+            Column::not_null("threads", ColumnType::Int),
+            Column::not_null("qerror_x100", ColumnType::Int),
+            Column::not_null("mem_bytes", ColumnType::Int),
+            Column::not_null("strategy", ColumnType::Str),
+        ]),
+    );
+    let rows = queryreg::global()
+        .completed()
+        .into_iter()
+        .map(|r| {
+            vec![
+                int(r.id),
+                Value::Str(r.sql),
+                Value::Str(r.outcome),
+                int(r.wall_ms),
+                int(r.rows),
+                int(r.threads),
+                int(r.qerror_x100),
+                int(r.mem_bytes),
+                Value::Str(r.strategy),
+            ]
+        })
+        .collect();
+    fill(table, rows)
+}
+
+/// `nra_sys.running`: live queries with their current progress.
+fn running_table(name: &str) -> Table {
+    let table = Table::new(
+        name,
+        Schema::new(vec![
+            Column::not_null("id", ColumnType::Int),
+            Column::not_null("sql", ColumnType::Str),
+            Column::not_null("phase", ColumnType::Str),
+            Column::not_null("percent", ColumnType::Int),
+            Column::not_null("rows_processed", ColumnType::Int),
+            Column::not_null("rows_estimated", ColumnType::Int),
+            Column::not_null("elapsed_ms", ColumnType::Int),
+            Column::not_null("mem_bytes", ColumnType::Int),
+        ]),
+    );
+    let rows = queryreg::global()
+        .running()
+        .into_iter()
+        .map(|r| {
+            let snap = r.progress.snapshot();
+            vec![
+                int(r.id),
+                Value::Str(r.sql),
+                Value::Str(snap.phase),
+                int(snap.percent),
+                int(snap.rows_processed),
+                int(snap.rows_estimated),
+                int(snap.elapsed_ms),
+                int(snap.mem_bytes),
+            ]
+        })
+        .collect();
+    fill(table, rows)
+}
+
+/// `nra_sys.metrics`: the process-cumulative registry. `value` is the
+/// counter/gauge value, or the sum for histograms; `count` is the
+/// observation count for histograms, NULL otherwise.
+fn metrics_table(name: &str) -> Table {
+    let table = Table::new(
+        name,
+        Schema::new(vec![
+            Column::not_null("name", ColumnType::Str),
+            Column::not_null("labels", ColumnType::Str),
+            Column::not_null("kind", ColumnType::Str),
+            Column::not_null("value", ColumnType::Int),
+            Column::new("count", ColumnType::Int),
+        ]),
+    );
+    let snap = metrics::global().snapshot();
+    let rows = snap
+        .entries
+        .iter()
+        .map(|(key, metric)| {
+            let labels = key
+                .labels
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(",");
+            let (kind, value, count) = match metric {
+                Metric::Counter(v) => ("counter", *v, Value::Null),
+                Metric::Gauge(v) => ("gauge", *v, Value::Null),
+                Metric::Hist { count, sum, .. } => ("histogram", *sum, int(*count)),
+            };
+            vec![
+                Value::Str(key.name.clone()),
+                Value::Str(labels),
+                Value::Str(kind.to_string()),
+                int(value),
+                count,
+            ]
+        })
+        .collect();
+    fill(table, rows)
+}
+
+/// `nra_sys.table_stats`: one row per analyzed column of each base
+/// table; tables never analyzed get a single row with NULL column
+/// statistics (so they still show up with their row counts).
+fn table_stats_table(name: &str, catalog: &Catalog) -> Table {
+    let table = Table::new(
+        name,
+        Schema::new(vec![
+            Column::not_null("table_name", ColumnType::Str),
+            Column::not_null("row_count", ColumnType::Int),
+            Column::new("column_name", ColumnType::Str),
+            Column::new("ndv", ColumnType::Int),
+            Column::new("null_count", ColumnType::Int),
+        ]),
+    );
+    let mut rows = Vec::new();
+    for tname in catalog.table_names() {
+        let t = catalog.table(tname).expect("listed table exists");
+        match t.stats() {
+            Some(stats) => {
+                for col in &stats.columns {
+                    rows.push(vec![
+                        Value::Str(tname.to_string()),
+                        int(stats.row_count),
+                        Value::Str(col.name.clone()),
+                        int(col.ndv),
+                        int(col.null_count),
+                    ]);
+                }
+            }
+            None => rows.push(vec![
+                Value::Str(tname.to_string()),
+                int(t.len() as u64),
+                Value::Null,
+                Value::Null,
+                Value::Null,
+            ]),
+        }
+    }
+    fill(table, rows)
+}
+
+/// `nra_sys.operators`: per-operator totals pivoted from the global
+/// `nra_op_*` counters (one row per `op` label).
+fn operators_table(name: &str) -> Table {
+    let table = Table::new(
+        name,
+        Schema::new(vec![
+            Column::not_null("op", ColumnType::Str),
+            Column::not_null("invocations", ColumnType::Int),
+            Column::not_null("rows_in", ColumnType::Int),
+            Column::not_null("rows_out", ColumnType::Int),
+        ]),
+    );
+    use std::collections::BTreeMap;
+    let mut by_op: BTreeMap<String, [u64; 3]> = BTreeMap::new();
+    let snap = metrics::global().snapshot();
+    for (key, metric) in &snap.entries {
+        let slot = match key.name.as_str() {
+            "nra_op_invocations_total" => 0,
+            "nra_op_rows_in_total" => 1,
+            "nra_op_rows_out_total" => 2,
+            _ => continue,
+        };
+        let Metric::Counter(v) = metric else {
+            continue;
+        };
+        let Some(op) = key
+            .labels
+            .iter()
+            .find(|(k, _)| k.as_str() == "op")
+            .map(|(_, v)| v.clone())
+        else {
+            continue;
+        };
+        by_op.entry(op).or_default()[slot] += *v;
+    }
+    let rows = by_op
+        .into_iter()
+        .map(|(op, totals)| {
+            vec![
+                Value::Str(op),
+                int(totals[0]),
+                int(totals[1]),
+                int(totals[2]),
+            ]
+        })
+        .collect();
+    fill(table, rows)
+}

@@ -97,6 +97,19 @@ fn every_operator_node_carries_cardinality_feedback() {
     }
 }
 
+/// The estimator covers every node of Query Q's plan: a node the
+/// estimator misses renders the explicit `est=?` placeholder (instead
+/// of silently omitting the estimate), and none may appear here.
+#[test]
+fn no_node_renders_the_missing_estimate_placeholder() {
+    let text = analyze(&db());
+    assert!(
+        !text.contains("est=?"),
+        "estimator coverage gap on Query Q:\n{text}"
+    );
+    assert!(!text.contains("not executed"), "dead node:\n{text}");
+}
+
 /// The nest operator emits exactly one nested tuple per group.
 #[test]
 fn nest_rows_out_equals_group_count() {
