@@ -15,6 +15,10 @@
 //!   baselines; non-zero exit + per-operator delta table on regression
 //! * `--wall-factor <f>` — wall-time tolerance band for the check
 //! * `--trace` — trace the paper's Query Q, write `TRACE_QQ.jsonl`
+//! * `--serve` — start the TCP front end on an ephemeral port and drive
+//!   it with concurrent protocol clients (1, then `--clients`, default
+//!   8) running the headline queries; report client-observed per-query
+//!   p50/p99 latency and aggregate throughput scaling
 //! * `--threads <n>` — worker budget for the partition-parallel executor
 //!   (also enables the `parallel` section: sequential vs parallel wall
 //!   time on Q2a/Q2b for the nested relational series)
@@ -89,6 +93,12 @@ struct Args {
     /// appending their records to this JSONL log, then schema-validate
     /// the whole file; exit non-zero on a malformed record.
     slow_log: Option<std::path::PathBuf>,
+    /// Start the TCP front end and drive it with concurrent protocol
+    /// clients; report per-query p50/p99 latency and 1-client vs
+    /// N-client throughput (`--serve`).
+    serve: bool,
+    /// Client count for `--serve` (default 8).
+    clients: usize,
     figures: Vec<String>,
 }
 
@@ -108,6 +118,8 @@ fn parse_args() -> Args {
         check_trajectory: false,
         metrics: None,
         slow_log: None,
+        serve: false,
+        clients: 8,
         figures: vec![],
     };
     let mut it = std::env::args().skip(1);
@@ -135,6 +147,13 @@ fn parse_args() -> Args {
                     .expect("--wall-factor takes a number")
             }
             "--trace" => args.trace = true,
+            "--serve" => args.serve = true,
+            "--clients" => {
+                args.clients = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--clients takes a client count")
+            }
             "--record" => args.record = true,
             "--trajectory" => {
                 args.trajectory = Some(
@@ -462,6 +481,9 @@ fn main() {
     if args.trace {
         trace_query_q();
     }
+    if args.serve {
+        serve_bench(&nullable, &args);
+    }
     if args.record {
         record_trajectory(&strict, &nullable, &args);
     }
@@ -658,13 +680,15 @@ fn check_trajectory(args: &Args) {
 fn write_metrics(path: &std::path::Path, strict: &Catalog, nullable: &Catalog, args: &Args) {
     for (name, cat, sql) in headline_queries(strict, nullable, args.scale) {
         let db = nra::Database::from_catalog(cat.clone());
-        db.execute(
-            &sql,
-            &nra::QueryOptions::new()
-                .strategy(nra::Strategy::Original)
-                .collect_metrics(true),
-        )
-        .unwrap_or_else(|e| panic!("headline query {name} runs: {e}"));
+        let session = db.connect();
+        session
+            .execute_with(
+                &sql,
+                &nra::QueryOptions::new()
+                    .strategy(nra::Strategy::Original)
+                    .collect_metrics(true),
+            )
+            .unwrap_or_else(|e| panic!("headline query {name} runs: {e}"));
     }
     let snapshot = nra::obs::metrics::global().snapshot();
     std::fs::write(path, snapshot.to_jsonl()).expect("write metrics export");
@@ -678,15 +702,17 @@ fn write_metrics(path: &std::path::Path, strict: &Catalog, nullable: &Catalog, a
 fn write_slow_log(path: &std::path::Path, strict: &Catalog, nullable: &Catalog, args: &Args) {
     for (name, cat, sql) in headline_queries(strict, nullable, args.scale) {
         let db = nra::Database::from_catalog(cat.clone());
-        db.execute(
-            &sql,
-            &nra::QueryOptions::new()
-                .strategy(nra::Strategy::Original)
-                .collect_profile(true)
-                .slow_ms(0)
-                .slow_log(path),
-        )
-        .unwrap_or_else(|e| panic!("headline query {name} runs: {e}"));
+        let session = db.connect();
+        session
+            .execute_with(
+                &sql,
+                &nra::QueryOptions::new()
+                    .strategy(nra::Strategy::Original)
+                    .collect_profile(true)
+                    .slow_ms(0)
+                    .slow_log(path),
+            )
+            .unwrap_or_else(|e| panic!("headline query {name} runs: {e}"));
     }
     let contents = std::fs::read_to_string(path).expect("read slow-query log");
     match nra::obs::slowlog::validate_lines(&contents) {
@@ -699,6 +725,98 @@ fn write_slow_log(path: &std::path::Path, strict: &Catalog, nullable: &Catalog, 
             std::process::exit(1);
         }
     }
+}
+
+/// `--serve`: start the TCP front end over the nullable headline
+/// catalog and hammer it with protocol clients — first one, then
+/// `--clients` — running the headline queries (Q1/Q2A/Q2B, all valid on
+/// the nullable schema) in rounds. Reports per-query p50/p99 latency as
+/// observed by the clients, plus aggregate throughput; the N-client
+/// phase is expected to sustain well above 1-client throughput since
+/// read queries share the catalog lock and the plan cache.
+fn serve_bench(nullable: &Catalog, args: &Args) {
+    let grid = paper_grid(args.scale);
+    let q1_outer = *grid.q1_outer.last().unwrap();
+    let part = *grid.q23_part.last().unwrap();
+    let queries: Vec<(&'static str, String)> = vec![
+        ("Q1", q1_sql(nullable, q1_outer)),
+        ("Q2A", q2_sql(nullable, Quant::Any, part, grid.q23_partsupp)),
+        ("Q2B", q2_sql(nullable, Quant::All, part, grid.q23_partsupp)),
+    ];
+    let rounds = (args.reps * 8).max(8);
+
+    let db = nra::Database::from_catalog(nullable.clone());
+    let handle = nra_server::serve(db, "127.0.0.1:0").expect("bind ephemeral port");
+    let addr = handle.addr();
+    println!(
+        "### Serving benchmark ({} round(s) of {} queries per client, scale {})\n",
+        rounds,
+        queries.len(),
+        args.scale
+    );
+    println!("| clients | query | p50 (ms) | p99 (ms) | queries/s (all) |");
+    println!("|---|---|---|---|---|");
+
+    let mut throughput_1 = None;
+    for clients in [1usize, args.clients.max(1)] {
+        let phase_start = std::time::Instant::now();
+        let workers: Vec<_> = (0..clients)
+            .map(|_| {
+                let queries = queries.clone();
+                std::thread::spawn(move || {
+                    let mut client =
+                        nra_server::Client::connect(addr).expect("connect to bench server");
+                    let mut lat: Vec<Vec<f64>> = vec![Vec::new(); queries.len()];
+                    let mut rows: Vec<usize> = vec![0; queries.len()];
+                    for _ in 0..rounds {
+                        for (qi, (name, sql)) in queries.iter().enumerate() {
+                            let start = std::time::Instant::now();
+                            let resp = client
+                                .query(sql)
+                                .unwrap_or_else(|e| panic!("{name} over the wire: {e}"));
+                            lat[qi].push(start.elapsed().as_secs_f64() * 1e3);
+                            match rows[qi] {
+                                0 => rows[qi] = resp.rows.len().max(1),
+                                r => assert_eq!(
+                                    r,
+                                    resp.rows.len().max(1),
+                                    "{name} answer changed across rounds"
+                                ),
+                            }
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        let mut per_query: Vec<Vec<f64>> = vec![Vec::new(); queries.len()];
+        for w in workers {
+            for (qi, lat) in w.join().expect("client thread").into_iter().enumerate() {
+                per_query[qi].extend(lat);
+            }
+        }
+        let phase_secs = phase_start.elapsed().as_secs_f64();
+        let total_queries = clients * rounds * queries.len();
+        let qps = total_queries as f64 / phase_secs;
+        if clients == 1 {
+            throughput_1 = Some(qps);
+        }
+        for (qi, (name, _)) in queries.iter().enumerate() {
+            let lat = &mut per_query[qi];
+            lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let p50 = lat[lat.len() / 2];
+            let p99 = lat[(lat.len() * 99) / 100];
+            println!("| {clients} | {name} | {p50:.3} | {p99:.3} | {qps:.1} |");
+        }
+        if clients > 1 {
+            let base = throughput_1.expect("1-client phase ran first");
+            println!(
+                "\n{clients}-client throughput is {:.2}x the 1-client baseline\n",
+                qps / base
+            );
+        }
+    }
+    handle.shutdown();
 }
 
 /// `--baseline-check`: exact diff on counters and I/O pages, tolerance
@@ -736,7 +854,8 @@ fn check_baselines(profiles: &[profile::QueryProfile], args: &Args) {
 fn trace_query_q() {
     let db = nra::Database::from_catalog(nra::tpch::paper_example::rst_catalog());
     let out = db
-        .execute(
+        .connect()
+        .execute_with(
             nra::tpch::paper_example::QUERY_Q,
             &nra::QueryOptions::new().collect_trace(true),
         )

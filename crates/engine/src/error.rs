@@ -37,6 +37,17 @@ pub enum EngineError {
         site: String,
         message: String,
     },
+    /// The admission controller refused the query: the concurrency or
+    /// aggregate-memory cap stayed saturated for the whole queue
+    /// timeout. `running` is the number of admitted queries observed
+    /// when the wait gave up, `limit` the configured cap that blocked
+    /// admission (`detail` says which).
+    Admission {
+        detail: String,
+        waited_ms: u64,
+        running: usize,
+        limit: u64,
+    },
     Storage(StorageError),
     Sql(SqlError),
 }
@@ -56,6 +67,7 @@ impl EngineError {
             EngineError::ResourceExhausted { .. } => "resource-exhausted",
             EngineError::Cancelled { .. } => "cancelled",
             EngineError::WorkerPanicked { .. } => "worker-panicked",
+            EngineError::Admission { .. } => "admission",
             EngineError::Storage(_) => "storage",
             EngineError::Sql(_) => "sql",
         }
@@ -81,6 +93,16 @@ impl fmt::Display for EngineError {
             EngineError::WorkerPanicked { site, message } => {
                 write!(f, "worker panicked at `{site}`: {message}")
             }
+            EngineError::Admission {
+                detail,
+                waited_ms,
+                running,
+                limit,
+            } => write!(
+                f,
+                "admission refused after {waited_ms} ms: {detail} \
+                 ({running} running, limit {limit})"
+            ),
             EngineError::Storage(e) => write!(f, "{e}"),
             EngineError::Sql(e) => write!(f, "{e}"),
         }
@@ -96,7 +118,8 @@ impl std::error::Error for EngineError {
             | EngineError::Unsupported(_)
             | EngineError::ResourceExhausted { .. }
             | EngineError::Cancelled { .. }
-            | EngineError::WorkerPanicked { .. } => None,
+            | EngineError::WorkerPanicked { .. }
+            | EngineError::Admission { .. } => None,
         }
     }
 }

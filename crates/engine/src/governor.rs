@@ -413,6 +413,254 @@ pub(crate) fn observe_fault(site: &str) -> Result<(), EngineError> {
     })
 }
 
+// ---------------------------------------------------------------------
+// Admission control: the *global* layer above the per-query governors.
+//
+// A [`Governor`] protects one query from itself; an
+// [`AdmissionController`] protects the process from the sum of its
+// queries. Every session's per-query budget (its `mem_limit_bytes`)
+// doubles as the reservation the controller aggregates: a query is
+// admitted only while the number of running queries stays under
+// `max_concurrent` AND the sum of admitted reservations stays under
+// `mem_cap_bytes`. Saturated admission *queues* (condvar wait) up to
+// `queue_timeout_ms`, then fails with [`EngineError::Admission`] — load
+// sheds at the front door instead of thrashing the engine.
+
+/// Admission limits. Both caps default to unlimited, which makes the
+/// controller a no-op — embedded single-caller use never queues.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Maximum concurrently-executing queries (`None` = unlimited).
+    pub max_concurrent: Option<usize>,
+    /// Cap on the sum of admitted per-query memory reservations, in
+    /// bytes (`None` = unlimited). Queries without a budget reserve 0
+    /// and pass this cap freely.
+    pub mem_cap_bytes: Option<u64>,
+    /// How long a query may wait for capacity before admission fails.
+    /// `0` sheds immediately when saturated.
+    pub queue_timeout_ms: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> AdmissionConfig {
+        AdmissionConfig {
+            max_concurrent: None,
+            mem_cap_bytes: None,
+            queue_timeout_ms: 1_000,
+        }
+    }
+}
+
+impl AdmissionConfig {
+    pub fn new() -> AdmissionConfig {
+        AdmissionConfig::default()
+    }
+
+    pub fn max_concurrent(mut self, n: usize) -> AdmissionConfig {
+        self.max_concurrent = Some(n.max(1));
+        self
+    }
+
+    pub fn mem_cap_bytes(mut self, bytes: u64) -> AdmissionConfig {
+        self.mem_cap_bytes = Some(bytes);
+        self
+    }
+
+    pub fn queue_timeout_ms(mut self, ms: u64) -> AdmissionConfig {
+        self.queue_timeout_ms = ms;
+        self
+    }
+
+    /// Overlay the environment: `NRA_MAX_CONCURRENT`,
+    /// `NRA_ADMISSION_MEM` (bytes) and `NRA_ADMISSION_TIMEOUT_MS`, each
+    /// only where nothing was set programmatically.
+    pub fn with_env(mut self) -> AdmissionConfig {
+        let parse = |var: &str| {
+            std::env::var(var)
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+        };
+        if self.max_concurrent.is_none() {
+            if let Some(n) = parse("NRA_MAX_CONCURRENT") {
+                self = self.max_concurrent(n as usize);
+            }
+        }
+        if self.mem_cap_bytes.is_none() {
+            if let Some(b) = parse("NRA_ADMISSION_MEM") {
+                self = self.mem_cap_bytes(b);
+            }
+        }
+        if let Some(ms) = parse("NRA_ADMISSION_TIMEOUT_MS") {
+            self = self.queue_timeout_ms(ms);
+        }
+        self
+    }
+
+    /// Whether any cap is armed (unarmed controllers take a fast path
+    /// that never touches the mutex).
+    pub fn is_armed(&self) -> bool {
+        self.max_concurrent.is_some() || self.mem_cap_bytes.is_some()
+    }
+}
+
+#[derive(Debug, Default)]
+struct AdmissionState {
+    running: usize,
+    mem_reserved: u64,
+}
+
+/// Aggregates per-session budgets under process-wide caps; see the
+/// module comment above. Shared via `Arc` by everything that executes
+/// queries against one database.
+#[derive(Debug, Default)]
+pub struct AdmissionController {
+    config: AdmissionConfig,
+    state: std::sync::Mutex<AdmissionState>,
+    cv: std::sync::Condvar,
+}
+
+/// RAII admission slot: holding one means the query is counted against
+/// the caps; dropping it frees the slot and wakes one queued waiter
+/// per released resource class.
+#[must_use = "dropping the permit releases the admission slot"]
+#[derive(Debug)]
+pub struct AdmissionPermit {
+    controller: Option<Arc<AdmissionController>>,
+    mem_reserved: u64,
+}
+
+impl Drop for AdmissionPermit {
+    fn drop(&mut self) {
+        if let Some(c) = self.controller.take() {
+            {
+                let mut st = c.state.lock().unwrap_or_else(|e| e.into_inner());
+                st.running -= 1;
+                st.mem_reserved -= self.mem_reserved;
+            }
+            nra_obs::metrics::global().gauge_set(
+                "nra_admission_running",
+                &[],
+                c.snapshot().0 as u64,
+            );
+            c.cv.notify_all();
+        }
+    }
+}
+
+impl AdmissionController {
+    pub fn new(config: AdmissionConfig) -> AdmissionController {
+        AdmissionController {
+            config,
+            state: std::sync::Mutex::new(AdmissionState::default()),
+            cv: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Unlimited controller (the default for a fresh database).
+    pub fn unlimited() -> AdmissionController {
+        AdmissionController::new(AdmissionConfig::default())
+    }
+
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
+    /// `(running, mem_reserved)` right now.
+    pub fn snapshot(&self) -> (usize, u64) {
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        (st.running, st.mem_reserved)
+    }
+
+    fn blocked_by(&self, st: &AdmissionState, mem_reserve: u64) -> Option<(String, u64)> {
+        if let Some(max) = self.config.max_concurrent {
+            if st.running >= max {
+                return Some(("concurrency cap".to_string(), max as u64));
+            }
+        }
+        if let Some(cap) = self.config.mem_cap_bytes {
+            // A single reservation larger than the whole cap can still
+            // run alone — otherwise it would queue forever.
+            if st.mem_reserved + mem_reserve > cap && st.running > 0 {
+                return Some(("memory cap".to_string(), cap));
+            }
+        }
+        None
+    }
+
+    /// Wait for capacity and take a slot, reserving `mem_reserve` bytes
+    /// (the query's own memory budget; 0 for unbudgeted queries).
+    /// Fails with [`EngineError::Admission`] when the caps stay
+    /// saturated for [`AdmissionConfig::queue_timeout_ms`].
+    pub fn admit(self: &Arc<Self>, mem_reserve: u64) -> Result<AdmissionPermit, EngineError> {
+        if !self.config.is_armed() {
+            // Unlimited: count nothing, park nothing — embedded callers
+            // pay zero synchronization here.
+            return Ok(AdmissionPermit {
+                controller: None,
+                mem_reserved: 0,
+            });
+        }
+        let deadline = Instant::now() + Duration::from_millis(self.config.queue_timeout_ms);
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut queued = false;
+        loop {
+            match self.blocked_by(&st, mem_reserve) {
+                None => {
+                    st.running += 1;
+                    st.mem_reserved += mem_reserve;
+                    let running = st.running;
+                    drop(st);
+                    nra_obs::metrics::global().counter_add("nra_admission_admitted_total", &[], 1);
+                    nra_obs::metrics::global().gauge_max(
+                        "nra_admission_running",
+                        &[],
+                        running as u64,
+                    );
+                    return Ok(AdmissionPermit {
+                        controller: Some(self.clone()),
+                        mem_reserved: mem_reserve,
+                    });
+                }
+                Some((detail, limit)) => {
+                    if !queued {
+                        queued = true;
+                        nra_obs::metrics::global().counter_add(
+                            "nra_admission_queued_total",
+                            &[],
+                            1,
+                        );
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        let running = st.running;
+                        drop(st);
+                        nra_obs::metrics::global().counter_add(
+                            "nra_admission_rejected_total",
+                            &[],
+                            1,
+                        );
+                        nra_obs::trace::emit(|| nra_obs::trace::TraceEvent::Governor {
+                            action: "admission-rejected".into(),
+                            detail: detail.clone(),
+                        });
+                        return Err(EngineError::Admission {
+                            detail,
+                            waited_ms: self.config.queue_timeout_ms,
+                            running,
+                            limit,
+                        });
+                    }
+                    let (guard, _timeout) = self
+                        .cv
+                        .wait_timeout(st, deadline - now)
+                        .unwrap_or_else(|e| e.into_inner());
+                    st = guard;
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -545,6 +793,87 @@ mod tests {
         ));
         // One-shot: the nth pass has been consumed.
         assert!(faultinject::hit(faultinject::NEST_FLUSH).is_ok());
+    }
+
+    #[test]
+    fn unlimited_admission_is_a_no_op() {
+        let ctl = Arc::new(AdmissionController::unlimited());
+        let permits: Vec<_> = (0..64).map(|_| ctl.admit(1 << 40).unwrap()).collect();
+        assert_eq!(ctl.snapshot(), (0, 0), "unarmed controller counts nothing");
+        drop(permits);
+    }
+
+    #[test]
+    fn concurrency_cap_queues_then_rejects() {
+        let ctl = Arc::new(AdmissionController::new(
+            AdmissionConfig::new().max_concurrent(2).queue_timeout_ms(0),
+        ));
+        let a = ctl.admit(0).unwrap();
+        let _b = ctl.admit(0).unwrap();
+        assert_eq!(ctl.snapshot().0, 2);
+        match ctl.admit(0) {
+            Err(EngineError::Admission { running, limit, .. }) => {
+                assert_eq!(running, 2);
+                assert_eq!(limit, 2);
+            }
+            other => panic!("expected Admission error, got {other:?}"),
+        }
+        drop(a);
+        let _c = ctl.admit(0).expect("freed slot admits again");
+    }
+
+    #[test]
+    fn memory_cap_aggregates_reservations() {
+        let ctl = Arc::new(AdmissionController::new(
+            AdmissionConfig::new()
+                .mem_cap_bytes(1_000)
+                .queue_timeout_ms(0),
+        ));
+        let a = ctl.admit(600).unwrap();
+        assert!(matches!(ctl.admit(600), Err(EngineError::Admission { .. })));
+        // Unbudgeted queries reserve 0 and always pass the memory cap.
+        let _free = ctl.admit(0).unwrap();
+        drop(a);
+        let _b = ctl.admit(600).unwrap();
+        // A reservation above the whole cap still runs when alone.
+        drop(_b);
+        drop(_free);
+        let _huge = ctl.admit(10_000).expect("oversized reservation runs alone");
+    }
+
+    #[test]
+    fn queued_waiter_is_admitted_when_capacity_frees() {
+        let ctl = Arc::new(AdmissionController::new(
+            AdmissionConfig::new()
+                .max_concurrent(1)
+                .queue_timeout_ms(5_000),
+        ));
+        let permit = ctl.admit(0).unwrap();
+        let waiter = {
+            let ctl = ctl.clone();
+            std::thread::spawn(move || ctl.admit(0).map(|_p| ()))
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        drop(permit);
+        waiter
+            .join()
+            .expect("waiter thread")
+            .expect("queued query admitted after release");
+        assert_eq!(ctl.snapshot(), (0, 0));
+    }
+
+    #[test]
+    fn admission_error_renders_and_labels() {
+        let e = EngineError::Admission {
+            detail: "concurrency cap".to_string(),
+            waited_ms: 7,
+            running: 3,
+            limit: 3,
+        };
+        assert_eq!(e.variant_name(), "admission");
+        let s = e.to_string();
+        assert!(s.contains("admission refused after 7 ms"), "{s}");
+        assert!(s.contains("concurrency cap"), "{s}");
     }
 
     #[test]

@@ -39,5 +39,5 @@ pub mod vec;
 pub use error::EngineError;
 pub use expr::{CExpr, CPred};
 pub use faultinject::{FaultKind, FaultPlan};
-pub use governor::{CancelToken, Governor};
+pub use governor::{AdmissionConfig, AdmissionController, AdmissionPermit, CancelToken, Governor};
 pub use ops::{join, JoinKind, JoinSpec};

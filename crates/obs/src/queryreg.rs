@@ -46,6 +46,9 @@ pub struct QueryRecord {
     /// The execution strategy that answered the query (auto resolved to
     /// its concrete choice).
     pub strategy: String,
+    /// The session the query ran under (0 = none: internal or legacy
+    /// callers that bypassed the session layer).
+    pub session: u64,
 }
 
 /// One currently-executing query.
@@ -131,8 +134,15 @@ pub fn global() -> &'static QueryRegistry {
 }
 
 /// Collapse runs of whitespace to single spaces and trim — the canonical
-/// statement form stored by the registry (and the plan-cache key a
-/// serving front end would use).
+/// statement form stored by the registry and the slow-query log.
+///
+/// CONTRACT: this is a byte-for-byte copy of `nra_sql::normalize::
+/// normalize`, the plan-cache key normalizer. The two cannot share code
+/// (`nra-sql` depends on this crate for trace events, so this crate
+/// cannot call into it), but they must never diverge — a registry record
+/// must display exactly the string the plan cache keyed on. The
+/// agreement is pinned by a corpus test in `nra-sql::normalize`; change
+/// both together or that suite fails.
 pub fn normalize_sql(sql: &str) -> String {
     let mut out = String::with_capacity(sql.len());
     let mut last_space = true;
@@ -168,6 +178,7 @@ mod tests {
             qerror_x100: 100,
             mem_bytes: 0,
             strategy: "original".to_string(),
+            session: 0,
         }
     }
 

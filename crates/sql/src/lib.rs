@@ -14,6 +14,7 @@ pub mod block;
 pub mod bound;
 pub mod error;
 pub mod lexer;
+pub mod normalize;
 pub mod parser;
 pub mod token;
 

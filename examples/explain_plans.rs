@@ -8,20 +8,20 @@
 
 use nra::core::TreeExpr;
 use nra::storage::{Column, ColumnType, Value};
-use nra::{Database, QueryOptions, Strategy};
+use nra::{Database, QueryOptions, Session, Strategy};
 
-fn show(db: &Database, sql: &str) {
+fn show(session: &Session, sql: &str) {
     println!("== {sql}\n");
-    let explain = db
-        .execute(sql, &QueryOptions::new().explain_only(true))
+    let explain = session
+        .execute_with(sql, &QueryOptions::new().explain_only(true))
         .unwrap();
     println!("{}", explain.plan.unwrap());
-    let bq = db.prepare(sql).unwrap();
+    let bq = session.database().prepare(sql).unwrap();
     let tree = TreeExpr::build(&bq);
     println!("\ntree expression (paper Fig. 3a):\n{tree}");
     println!("operator pipeline (paper Fig. 3b):\n{}", tree.render_plan());
-    let analyzed = db
-        .execute(
+    let analyzed = session
+        .execute_with(
             sql,
             &QueryOptions::new()
                 .strategy(Strategy::Original)
@@ -30,12 +30,12 @@ fn show(db: &Database, sql: &str) {
         )
         .unwrap();
     println!("explain analyze (measured):\n{}", analyzed.plan.unwrap());
-    let out = db.execute(sql, &QueryOptions::new()).unwrap();
+    let out = session.execute(sql).unwrap();
     println!("result:\n{}\n", out.rows);
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table(
         "products",
         vec![
@@ -72,9 +72,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ],
     )?;
 
+    let session = db.connect();
+
     // A negative linking operator: the paper's headline case.
     show(
-        &db,
+        &session,
         "select pid from products where price > all \
          (select price from products p2 where p2.category = products.category \
           and p2.pid <> products.pid)",
@@ -82,7 +84,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Mixed operators over two levels.
     show(
-        &db,
+        &session,
         "select pid from products where pid in \
          (select pid from sales where qty < some \
             (select qty from sales s2 where s2.pid = sales.pid))",
@@ -91,14 +93,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The aggregate extension: unsold or barely-sold products, by COUNT —
     // note the empty set must compare as 0 (the classical count bug).
     show(
-        &db,
+        &session,
         "select pid from products where 1 >= \
          (select count(*) from sales where sales.pid = products.pid)",
     );
 
     // ... and products priced above their category's average.
     show(
-        &db,
+        &session,
         "select pid from products where price > \
          (select avg(price) from products p2 where p2.category = products.category)",
     );

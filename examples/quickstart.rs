@@ -9,7 +9,7 @@ use nra::storage::{Column, ColumnType, Value};
 use nra::{Database, Engine, QueryOptions, Strategy};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut db = Database::new();
+    let db = Database::new();
 
     // A tiny order-management schema.
     db.create_table(
@@ -51,16 +51,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ],
     )?;
 
+    // Queries go through a session — the per-client handle the TCP
+    // front end hands out one of per connection.
+    let session = db.connect();
+
     // 1. Customers whose credit limit exceeds every single invoice they
     //    have — a correlated `> ALL` subquery, the case the paper shows
     //    commercial systems struggle to unnest.
     let sql_all = "select name from customers \
                    where credit_limit > all \
                      (select amount from invoices where invoices.cid = customers.cid)";
-    println!(
-        "-- {sql_all}\n{}\n",
-        db.execute(sql_all, &QueryOptions::new())?.rows
-    );
+    println!("-- {sql_all}\n{}\n", session.execute(sql_all)?.rows);
     // ada: 1000 > {900, 90} -> yes. grace: 250 > {300} -> no.
     // edsger: NULL > {100} -> unknown -> no.
     // barbara: 500 > {NULL} -> unknown -> no (a disputed invoice blocks).
@@ -68,24 +69,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Customers with no invoice at all (`NOT EXISTS` -> empty set).
     let sql_ne = "select name from customers \
                   where not exists (select * from invoices where invoices.cid = customers.cid)";
-    println!(
-        "-- {sql_ne}\n{}\n",
-        db.execute(sql_ne, &QueryOptions::new())?.rows
-    );
+    println!("-- {sql_ne}\n{}\n", session.execute(sql_ne)?.rows);
 
     // 3. `NOT IN` with NULLs in the subquery result: one NULL amount makes
     //    the predicate unknown for every row — standard SQL, frequently
     //    surprising, handled uniformly here.
     let sql_ni = "select iid from invoices where amount not in \
                   (select amount from invoices i2 where i2.cid <> invoices.cid)";
-    println!(
-        "-- {sql_ni}\n{}\n",
-        db.execute(sql_ni, &QueryOptions::new())?.rows
-    );
+    println!("-- {sql_ni}\n{}\n", session.execute(sql_ni)?.rows);
 
     // Every engine and strategy gives the same answer; `explain` shows
     // what each would do.
-    let explain = db.execute(sql_all, &QueryOptions::new().explain_only(true))?;
+    let explain = session.execute_with(sql_all, &QueryOptions::new().explain_only(true))?;
     println!("explain: {}", explain.plan.unwrap());
     for engine in [
         Engine::Reference,
@@ -93,7 +88,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Engine::NestedRelational(Strategy::Original),
         Engine::NestedRelational(Strategy::Optimized),
     ] {
-        let out = db.execute(sql_all, &QueryOptions::new().engine(engine))?;
+        let out = session.execute_with(sql_all, &QueryOptions::new().engine(engine))?;
         assert_eq!(out.rows.len(), 1, "all engines agree");
     }
     println!("\nall engines agree ✓");

@@ -9,21 +9,21 @@
 
 use std::time::Instant;
 
-use nra::{Database, Engine, QueryOptions, Strategy};
+use nra::{Database, Engine, QueryOptions, Session, Strategy};
 use nra_tpch::{generate, q1_sql, q2_sql, q3_sql, ExistsKind, Q3Corr, Quant, TpchConfig};
 
-fn time(db: &Database, sql: &str, engine: Engine) -> (usize, f64) {
+fn time(session: &Session, sql: &str, engine: Engine) -> (usize, f64) {
     let start = Instant::now();
-    let out = db
-        .execute(sql, &QueryOptions::new().engine(engine))
+    let out = session
+        .execute_with(sql, &QueryOptions::new().engine(engine))
         .expect("query runs");
     (out.rows.len(), start.elapsed().as_secs_f64())
 }
 
-fn run(db: &Database, label: &str, sql: &str) {
+fn run(session: &Session, label: &str, sql: &str) {
     println!("== {label}");
-    let explain = db
-        .execute(sql, &QueryOptions::new().explain_only(true))
+    let explain = session
+        .execute_with(sql, &QueryOptions::new().explain_only(true))
         .unwrap();
     println!("   {}", explain.plan.unwrap());
     let engines = [
@@ -37,7 +37,7 @@ fn run(db: &Database, label: &str, sql: &str) {
     ];
     let mut expected = None;
     for (name, engine) in engines {
-        let (rows, secs) = time(db, sql, engine);
+        let (rows, secs) = time(session, sql, engine);
         match expected {
             None => expected = Some(rows),
             Some(e) => assert_eq!(e, rows, "engines disagree!"),
@@ -59,31 +59,32 @@ fn main() {
         println!("  {t}: {} rows", db.catalog().table(t).unwrap().len());
     }
     println!();
+    let session = db.connect();
 
     let outer = (cfg.orders / 4).max(1);
     run(
-        &db,
+        &session,
         "Query 1 (> ALL, one level)",
-        &q1_sql(db.catalog(), outer),
+        &q1_sql(&db.catalog(), outer),
     );
 
     let part = (cfg.part / 4).max(1);
     let ps = (cfg.part * cfg.partsupp_per_part / 8).max(1);
     run(
-        &db,
+        &session,
         "Query 2a (mixed ANY / NOT EXISTS, linear)",
-        &q2_sql(db.catalog(), Quant::Any, part, ps),
+        &q2_sql(&db.catalog(), Quant::Any, part, ps),
     );
     run(
-        &db,
+        &session,
         "Query 2b (negative ALL / NOT EXISTS, linear)",
-        &q2_sql(db.catalog(), Quant::All, part, ps),
+        &q2_sql(&db.catalog(), Quant::All, part, ps),
     );
     run(
-        &db,
+        &session,
         "Query 3a(a) (mixed ALL / EXISTS, non-adjacent correlation)",
         &q3_sql(
-            db.catalog(),
+            &db.catalog(),
             Quant::All,
             ExistsKind::Exists,
             Q3Corr::EqEq,
@@ -92,10 +93,10 @@ fn main() {
         ),
     );
     run(
-        &db,
+        &session,
         "Query 3b(a) (negative ALL / NOT EXISTS)",
         &q3_sql(
-            db.catalog(),
+            &db.catalog(),
             Quant::All,
             ExistsKind::NotExists,
             Q3Corr::EqEq,
@@ -104,10 +105,10 @@ fn main() {
         ),
     );
     run(
-        &db,
+        &session,
         "Query 3c(a) (positive ANY / EXISTS)",
         &q3_sql(
-            db.catalog(),
+            &db.catalog(),
             Quant::Any,
             ExistsKind::Exists,
             Q3Corr::EqEq,

@@ -52,10 +52,14 @@ use std::time::Instant;
 use nra::core::TreeExpr;
 use nra::storage::csv::{read_rows, write_relation, CsvOptions};
 use nra::storage::{Column, ColumnType, Schema, Table};
-use nra::{Database, Engine, QueryOptions, Strategy};
+use nra::{Database, Engine, QueryOptions, Session, Strategy};
 
+/// The interactive shell drives one [`Session`]: the engine/thread/
+/// limit knobs below are mirrored into the session's default
+/// [`QueryOptions`] whenever they change, and every SQL line executes
+/// through [`Session::execute`].
 struct Shell {
-    db: Database,
+    session: Session,
     engine: Engine,
     threads: Option<usize>,
     timing: bool,
@@ -73,7 +77,7 @@ fn main() {
         return;
     }
     let mut shell = Shell {
-        db: Database::new(),
+        session: Database::new().connect(),
         engine: Engine::default(),
         threads: None,
         timing: false,
@@ -162,18 +166,19 @@ fn run_batch(args: &[String]) -> Result<(), String> {
         None if paper => nra::tpch::paper_example::QUERY_Q.to_string(),
         None => return Err(format!("{mode} needs a SQL argument")),
     };
+    let session = db.connect();
     match mode {
         "--explain-analyze" => {
             let opts = QueryOptions::new()
                 .strategy(Strategy::Original)
                 .collect_profile(true)
                 .simulate_io(true);
-            let out = db.execute(&sql, &opts).map_err(err)?;
+            let out = session.execute_with(&sql, &opts).map_err(err)?;
             print!("{}", out.plan.ok_or("no plan rendered for this query")?);
         }
         _ => {
-            let out = db
-                .execute(&sql, &QueryOptions::new().collect_trace(true))
+            let out = session
+                .execute_with(&sql, &QueryOptions::new().collect_trace(true))
                 .map_err(err)?;
             print!("{}", out.trace.expect("trace collected").render_tree());
             println!("-- {} row(s)", out.rows.len());
@@ -198,8 +203,9 @@ impl Shell {
                 "load" => self.cmd_load(args),
                 "export" => self.cmd_export(args),
                 "tables" => {
-                    for name in self.db.catalog().table_names() {
-                        let t = self.db.catalog().table(name).map_err(err)?;
+                    let cat = self.db().catalog();
+                    for name in cat.table_names() {
+                        let t = cat.table(name).map_err(err)?;
                         println!("{name}: {} rows, {} columns", t.len(), t.schema().len());
                     }
                     Ok(())
@@ -215,14 +221,14 @@ impl Shell {
                         .strategy(Strategy::Original)
                         .collect_profile(true)
                         .simulate_io(true);
-                    let out = self.db.execute(args, &opts).map_err(err)?;
+                    let out = self.session.execute_with(args, &opts).map_err(err)?;
                     print!("{}", out.plan.ok_or("no plan rendered for this query")?);
                     Ok(())
                 }
                 "trace" => {
                     let out = self
-                        .db
-                        .execute(args, &self.opts().collect_trace(true))
+                        .session
+                        .execute_with(args, &self.opts().collect_trace(true))
                         .map_err(err)?;
                     print!("{}", out.trace.expect("trace collected").render_tree());
                     println!("-- {} row(s)", out.rows.len());
@@ -286,8 +292,14 @@ impl Shell {
         }
     }
 
-    /// The session's standing execution options (engine, thread budget,
-    /// and resource limits).
+    /// The shared database behind the shell's session.
+    fn db(&self) -> &Database {
+        self.session.database()
+    }
+
+    /// The shell's standing execution options (engine, thread budget,
+    /// and resource limits) — mirrored into the session defaults by
+    /// [`Shell::sync_defaults`].
     fn opts(&self) -> QueryOptions {
         let mut opts = QueryOptions::new().engine(self.engine);
         if let Some(n) = self.threads {
@@ -302,9 +314,16 @@ impl Shell {
         opts
     }
 
+    /// Push the current knob values into the session's default options
+    /// so plain SQL lines (via [`Session::execute`]) pick them up.
+    fn sync_defaults(&mut self) {
+        let opts = self.opts();
+        self.session.set_defaults(opts);
+    }
+
     fn run_sql(&self, sql: &str) -> Result<(), String> {
         let start = Instant::now();
-        let out = self.db.execute(sql, &self.opts()).map_err(err)?;
+        let out = self.session.execute(sql).map_err(err)?;
         let elapsed = start.elapsed();
         // Catalog statements (`ANALYZE <table>`) return a summary instead
         // of rows; plain queries never set `plan` without a profile.
@@ -326,7 +345,8 @@ impl Shell {
         for name in cat.table_names() {
             println!("{name}: {} rows", cat.table(name).unwrap().len());
         }
-        self.db = Database::from_catalog(cat);
+        self.session = Database::from_catalog(cat).connect();
+        self.sync_defaults();
         Ok(())
     }
 
@@ -336,7 +356,7 @@ impl Shell {
             .ok_or(":tbl takes a table name and a file path")?;
         let file = std::fs::File::open(path.trim()).map_err(err)?;
         let schema = self
-            .db
+            .db()
             .catalog()
             .table(table)
             .map_err(err)?
@@ -344,7 +364,7 @@ impl Shell {
             .clone();
         let rows = read_rows(BufReader::new(file), &schema, &CsvOptions::tbl()).map_err(err)?;
         let n = rows.len();
-        self.db.insert(table, rows).map_err(err)?;
+        self.db().insert(table, rows).map_err(err)?;
         println!("loaded {n} rows into {table}");
         Ok(())
     }
@@ -387,7 +407,7 @@ impl Shell {
             let cols: Vec<&str> = pk.split(',').map(str::trim).collect();
             table.set_primary_key(&cols).map_err(err)?;
         }
-        self.db.catalog_mut().add_table(table).map_err(err)?;
+        self.db().catalog_mut().add_table(table).map_err(err)?;
         println!("created {name}");
         Ok(())
     }
@@ -398,7 +418,7 @@ impl Shell {
             .ok_or(":load takes a table name and a file path")?;
         let file = std::fs::File::open(path.trim()).map_err(err)?;
         let schema = self
-            .db
+            .db()
             .catalog()
             .table(table)
             .map_err(err)?
@@ -406,7 +426,7 @@ impl Shell {
             .clone();
         let rows = read_rows(BufReader::new(file), &schema, &CsvOptions::default()).map_err(err)?;
         let n = rows.len();
-        self.db.insert(table, rows).map_err(err)?;
+        self.db().insert(table, rows).map_err(err)?;
         println!("loaded {n} rows into {table}");
         Ok(())
     }
@@ -415,7 +435,13 @@ impl Shell {
         let (table, path) = args
             .split_once(' ')
             .ok_or(":export takes a table name and a file path")?;
-        let rel = self.db.catalog().table(table).map_err(err)?.data().clone();
+        let rel = self
+            .db()
+            .catalog()
+            .table(table)
+            .map_err(err)?
+            .data()
+            .clone();
         let file = std::fs::File::create(path.trim()).map_err(err)?;
         write_relation(file, &rel, &CsvOptions::default()).map_err(err)?;
         println!("wrote {} rows to {}", rel.len(), path.trim());
@@ -435,6 +461,7 @@ impl Shell {
             other => return Err(format!("unknown engine `{other}`")),
         };
         println!("engine set to {:?}", self.engine);
+        self.sync_defaults();
         Ok(())
     }
 
@@ -449,6 +476,7 @@ impl Shell {
             self.threads = Some(n.max(1));
             println!("threads set to {}", n.max(1));
         }
+        self.sync_defaults();
         Ok(())
     }
 
@@ -463,6 +491,7 @@ impl Shell {
             self.timeout_ms = Some(ms);
             println!("timeout set to {ms} ms (queries cancel cooperatively)");
         }
+        self.sync_defaults();
         Ok(())
     }
 
@@ -477,16 +506,17 @@ impl Shell {
             self.mem_limit = Some(bytes);
             println!("memory limit set to {bytes} bytes per query");
         }
+        self.sync_defaults();
         Ok(())
     }
 
     fn cmd_explain(&mut self, sql: &str) -> Result<(), String> {
         let out = self
-            .db
-            .execute(sql, &QueryOptions::new().explain_only(true))
+            .session
+            .execute_with(sql, &QueryOptions::new().explain_only(true))
             .map_err(err)?;
         println!("{}", out.plan.expect("explain_only sets plan"));
-        let bq = self.db.prepare(sql).map_err(err)?;
+        let bq = self.db().prepare(sql).map_err(err)?;
         let tree = TreeExpr::build(&bq);
         println!("\ntree expression:\n{tree}");
         println!("operator pipeline:\n{}", tree.render_plan());

@@ -12,7 +12,7 @@
 //! use nra::{Database, QueryOptions};
 //! use nra::storage::{Column, ColumnType, Value};
 //!
-//! let mut db = Database::new();
+//! let db = Database::new();
 //! db.create_table(
 //!     "emp",
 //!     vec![
@@ -54,8 +54,14 @@
 //! ```
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
+mod plancache;
+mod session;
 mod sys;
+
+pub use session::Session;
 
 pub use nra_core as core;
 pub use nra_engine as engine;
@@ -65,7 +71,7 @@ pub use nra_storage as storage;
 pub use nra_tpch as tpch;
 
 pub use nra_core::Strategy;
-pub use nra_engine::{CancelToken, FaultKind};
+pub use nra_engine::{AdmissionConfig, AdmissionController, CancelToken, FaultKind};
 use nra_engine::{EngineError, FaultPlan, Governor};
 use nra_sql::{BoundQuery, SqlError};
 use nra_storage::{Catalog, Column, Relation, Schema, StorageError, Table, Tuple};
@@ -163,10 +169,15 @@ pub struct QueryOptions {
     faults: Vec<(String, u64, FaultKind)>,
     slow_ms: Option<u64>,
     slow_log: Option<std::path::PathBuf>,
+    plan_cache: Option<bool>,
     /// Set on the nested call that answers an `nra_sys.*` query: the
     /// introspection query itself stays out of the query registry, the
-    /// progress tracker and the slow-query log (no self-recursion).
+    /// progress tracker, the slow-query log and the plan cache (no
+    /// self-recursion, no pollution from transient overlay databases).
     pub(crate) introspection: bool,
+    /// Session the call runs under, stamped by [`Session`] (0 = a
+    /// one-shot call outside any session).
+    pub(crate) session: u64,
 }
 
 impl QueryOptions {
@@ -293,6 +304,33 @@ impl QueryOptions {
         self
     }
 
+    /// Opt this call in or out of the process-wide plan cache (bound
+    /// plans keyed on normalized SQL; see `DESIGN.md` §15). Unset, the
+    /// `NRA_PLAN_CACHE` environment variable decides (`0`/`off`/`false`
+    /// disables), and the default is **on** — repeats of a statement
+    /// skip the parser and binder until a catalog write invalidates
+    /// them. Results are identical either way; only plan reuse changes.
+    pub fn plan_cache(mut self, on: bool) -> QueryOptions {
+        self.plan_cache = Some(on);
+        self
+    }
+
+    /// Cache policy resolution: explicit option > `NRA_PLAN_CACHE` >
+    /// on. Introspection calls never use the cache (their overlay
+    /// databases are transient).
+    fn plan_cache_enabled(&self) -> bool {
+        if self.introspection {
+            return false;
+        }
+        match self.plan_cache {
+            Some(on) => on,
+            None => !matches!(
+                std::env::var("NRA_PLAN_CACHE").as_deref().map(str::trim),
+                Ok("0") | Ok("off") | Ok("false")
+            ),
+        }
+    }
+
     /// The [`Governor`] these options describe (environment overlays
     /// included); `None` when nothing is armed.
     fn governor(&self) -> Option<Governor> {
@@ -344,34 +382,218 @@ pub struct QueryOutcome {
     pub progress: Option<obs::progress::ProgressSnapshot>,
 }
 
+/// Process-unique database ids, used as the first component of every
+/// plan-cache key: two databases must never share cached plans even for
+/// byte-identical SQL, because bound plans embed catalog-specific name
+/// resolutions.
+fn next_db_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// State shared by every handle to one database: the catalog behind a
+/// readers-writer lock, the schema version driving plan-cache
+/// invalidation, the admission controller gating concurrent queries,
+/// and the session-id counter.
+struct DbShared {
+    id: u64,
+    catalog: RwLock<Catalog>,
+    /// Bumped on every catalog write (DDL, insert, `ANALYZE`, or a
+    /// [`Database::catalog_mut`] guard dropping). A cached plan is
+    /// served only while its recorded version still matches.
+    version: AtomicU64,
+    admission: Mutex<Arc<AdmissionController>>,
+    next_session: AtomicU64,
+}
+
+impl DbShared {
+    /// Record a catalog write: bump the schema version and purge this
+    /// database's plan-cache entries.
+    fn invalidate_plans(&self) {
+        self.version.fetch_add(1, Ordering::SeqCst);
+        plancache::purge_db(self.id);
+    }
+}
+
+impl Drop for DbShared {
+    fn drop(&mut self) {
+        // Last handle gone: release the plan-cache slots (quietly — the
+        // schema didn't change, the database did).
+        plancache::forget_db(self.id);
+    }
+}
+
+/// Shared-read access to a database's catalog (see
+/// [`Database::catalog`]). Dereferences to [`Catalog`]; released on
+/// drop.
+pub struct CatalogRef<'a> {
+    guard: RwLockReadGuard<'a, Catalog>,
+}
+
+impl std::ops::Deref for CatalogRef<'_> {
+    type Target = Catalog;
+
+    fn deref(&self) -> &Catalog {
+        &self.guard
+    }
+}
+
+/// Exclusive access to a database's catalog (see
+/// [`Database::catalog_mut`]). Dropping the guard bumps the schema
+/// version and invalidates the database's plan-cache entries, so direct
+/// catalog surgery follows the same discipline as
+/// [`Database::create_table`] / [`Database::insert`].
+pub struct CatalogMut<'a> {
+    guard: Option<RwLockWriteGuard<'a, Catalog>>,
+    shared: &'a DbShared,
+}
+
+impl std::ops::Deref for CatalogMut<'_> {
+    type Target = Catalog;
+
+    fn deref(&self) -> &Catalog {
+        self.guard.as_deref().expect("guard present until drop")
+    }
+}
+
+impl std::ops::DerefMut for CatalogMut<'_> {
+    fn deref_mut(&mut self) -> &mut Catalog {
+        self.guard.as_deref_mut().expect("guard present until drop")
+    }
+}
+
+impl Drop for CatalogMut<'_> {
+    fn drop(&mut self) {
+        // Bump the version before releasing the write lock: a reader
+        // admitted right after the release already sees the new version
+        // and can never revive a stale cached plan.
+        self.shared.version.fetch_add(1, Ordering::SeqCst);
+        drop(self.guard.take());
+        plancache::purge_db(self.shared.id);
+    }
+}
+
 /// An in-memory database: a catalog plus query execution.
-#[derive(Debug, Clone, Default)]
+///
+/// A `Database` value is a cheap handle onto shared state — cloning it
+/// (or sending a clone to another thread) yields another view of the
+/// *same* catalog, plan-cache lineage and session counter. Read queries
+/// on different handles run concurrently under a shared catalog lock;
+/// catalog writes ([`create_table`](Database::create_table),
+/// [`insert`](Database::insert), `ANALYZE`,
+/// [`catalog_mut`](Database::catalog_mut)) take the lock exclusively
+/// and wait for in-flight queries to drain.
+///
+/// Multi-statement clients should open a [`Session`] via
+/// [`Database::connect`]; [`Database::execute`] is the equivalent
+/// one-shot path.
+#[derive(Clone)]
 pub struct Database {
-    catalog: Catalog,
+    shared: Arc<DbShared>,
+}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Database")
+            .field("id", &self.shared.id)
+            .field("version", &self.shared.version.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Database {
+    fn default() -> Database {
+        Database::new()
+    }
 }
 
 impl Database {
     pub fn new() -> Database {
-        Database::default()
+        Database::from_catalog(Catalog::new())
     }
 
     /// Wrap an existing catalog (e.g. one produced by
     /// [`tpch::generate`]).
     pub fn from_catalog(catalog: Catalog) -> Database {
-        Database { catalog }
+        Database {
+            shared: Arc::new(DbShared {
+                id: next_db_id(),
+                catalog: RwLock::new(catalog),
+                version: AtomicU64::new(0),
+                admission: Mutex::new(Arc::new(AdmissionController::new(
+                    AdmissionConfig::default().with_env(),
+                ))),
+                next_session: AtomicU64::new(1),
+            }),
+        }
     }
 
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+    /// The database's process-unique id (plan-cache key component).
+    pub(crate) fn id(&self) -> u64 {
+        self.shared.id
     }
 
-    pub fn catalog_mut(&mut self) -> &mut Catalog {
-        &mut self.catalog
+    /// Next session id, for [`Database::connect`].
+    pub(crate) fn next_session_id(&self) -> u64 {
+        self.shared.next_session.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Shared-read view of the catalog. Any number of guards can be
+    /// live at once (queries read under the same lock); don't hold one
+    /// across a catalog write on the same database, which needs the
+    /// lock exclusively.
+    pub fn catalog(&self) -> CatalogRef<'_> {
+        CatalogRef {
+            guard: self
+                .shared
+                .catalog
+                .read()
+                .unwrap_or_else(|e| e.into_inner()),
+        }
+    }
+
+    /// Exclusive catalog access, waiting for in-flight queries to
+    /// drain. Dropping the returned guard bumps the schema version and
+    /// invalidates this database's cached plans.
+    pub fn catalog_mut(&self) -> CatalogMut<'_> {
+        CatalogMut {
+            guard: Some(
+                self.shared
+                    .catalog
+                    .write()
+                    .unwrap_or_else(|e| e.into_inner()),
+            ),
+            shared: &self.shared,
+        }
+    }
+
+    /// Replace the admission controller gating this database's queries
+    /// (concurrency cap, aggregate memory reservations, queue timeout).
+    /// In-flight permits stay with the controller that issued them; new
+    /// queries see `config`. The default controller comes from the
+    /// `NRA_MAX_CONCURRENT` / `NRA_ADMISSION_MEM` /
+    /// `NRA_ADMISSION_TIMEOUT_MS` environment (unlimited when unset).
+    pub fn set_admission(&self, config: AdmissionConfig) {
+        let controller = Arc::new(AdmissionController::new(config));
+        *self
+            .shared
+            .admission
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = controller;
+    }
+
+    /// The admission controller currently gating this database.
+    pub fn admission(&self) -> Arc<AdmissionController> {
+        self.shared
+            .admission
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
     /// Create a table with the given columns and primary key.
     pub fn create_table(
-        &mut self,
+        &self,
         name: &str,
         columns: Vec<Column>,
         primary_key: &[&str],
@@ -385,19 +607,19 @@ impl Database {
         if !primary_key.is_empty() {
             table.set_primary_key(primary_key)?;
         }
-        self.catalog.add_table(table)?;
+        self.catalog_mut().add_table(table)?;
         Ok(())
     }
 
     /// Insert rows into a table (validating types, arity, NOT NULL).
-    pub fn insert(&mut self, table: &str, rows: Vec<Tuple>) -> Result<(), NraError> {
-        self.catalog.table_mut(table)?.insert_many(rows)?;
+    pub fn insert(&self, table: &str, rows: Vec<Tuple>) -> Result<(), NraError> {
+        self.catalog_mut().table_mut(table)?.insert_many(rows)?;
         Ok(())
     }
 
     /// Parse and bind a query without executing it.
     pub fn prepare(&self, sql: &str) -> Result<BoundQuery, NraError> {
-        Ok(nra_sql::parse_and_bind(sql, &self.catalog)?)
+        Ok(nra_sql::parse_and_bind(sql, &self.catalog())?)
     }
 
     /// The single query entry point: parse, plan and run `sql` under
@@ -422,7 +644,22 @@ impl Database {
     /// disabled on return. Under [`QueryOptions::collect_trace`] the
     /// environment sinks also apply (`NRA_TRACE=1` mirrors to stderr,
     /// `NRA_TRACE_FILE=path` appends JSONL).
+    ///
+    /// This is the one-shot path: it is a thin wrapper over a transient
+    /// [`Session`] (id 0). Multi-statement clients should hold a real
+    /// session from [`Database::connect`] instead — same machinery,
+    /// plus per-session defaults and prepared statements.
     pub fn execute(&self, sql: &str, options: &QueryOptions) -> Result<QueryOutcome, NraError> {
+        Session::one_shot(self).execute_with(sql, options)
+    }
+
+    /// The real entry point behind [`Database::execute`] and
+    /// [`Session::execute_with`]; `options.session` is already stamped.
+    pub(crate) fn execute_inner(
+        &self,
+        sql: &str,
+        options: &QueryOptions,
+    ) -> Result<QueryOutcome, NraError> {
         let _budget = options
             .threads
             .map(|n| nra_engine::exec::set_threads(Some(n)));
@@ -448,7 +685,7 @@ impl Database {
         if options.explain_only {
             return Ok(QueryOutcome {
                 rows: Relation::new(Schema::new(Vec::new())),
-                plan: Some(self.explain_text(sql)?),
+                plan: Some(self.explain_text(&self.catalog(), sql)?),
                 profile: None,
                 metrics: None,
                 trace: None,
@@ -456,6 +693,26 @@ impl Database {
                 progress: None,
             });
         }
+
+        // Admission: the gate sits before any per-query state exists —
+        // a refused query never registers, traces or profiles, it just
+        // returns `EngineError::Admission`. The permit is RAII-held for
+        // the rest of the call, releasing its concurrency slot and
+        // memory reservation on every exit path. Metadata paths above
+        // (EXPLAIN, ANALYZE, introspection) bypass the gate: inspecting
+        // a saturated database must itself never queue.
+        let mem_reserve = options.mem_limit_bytes.or_else(env_mem_limit).unwrap_or(0);
+        let _permit = self
+            .admission()
+            .admit(mem_reserve)
+            .map_err(NraError::Engine)?;
+
+        // One shared-read catalog guard for the whole query: every
+        // planning and execution step below sees the same catalog
+        // snapshot, concurrent readers on other handles proceed in
+        // parallel, and catalog writers wait for the drain.
+        let cat_guard = self.catalog();
+        let cat: &Catalog = &cat_guard;
 
         use nra_obs::metrics;
         use nra_obs::trace::{self, TraceEvent};
@@ -525,7 +782,7 @@ impl Database {
             .map_err(NraError::Engine)
             .and_then(|()| {
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    self.run_statements(sql, options.engine)
+                    self.run_statements(cat, sql, options)
                 }))
                 .unwrap_or_else(|payload| {
                     let message = payload
@@ -583,7 +840,7 @@ impl Database {
         // Cardinality feedback: planner estimates vs. measured actuals,
         // summarized as the per-node Q-error (×100; 100 = perfect).
         let estimates = match (&profile, &result) {
-            (Some(_), Ok((_, Some(bound)))) => Some(nra_core::estimate(bound, &self.catalog)),
+            (Some(_), Ok((_, Some(bound)))) => Some(nra_core::estimate(bound, cat)),
             _ => None,
         };
         let mut qerror_max_x100 = 0;
@@ -673,6 +930,7 @@ impl Database {
                 qerror_x100: qerror_max_x100,
                 mem_bytes: mem_high_water,
                 strategy: strategy.to_string(),
+                session: options.session,
             });
         }
 
@@ -793,9 +1051,12 @@ impl Database {
 
     /// `ANALYZE <table>`: recompute per-column statistics (distinct-value
     /// and null counts) used by the cardinality estimator, returning the
-    /// summary as plan text.
+    /// summary as plan text. Counts as a catalog write for plan-cache
+    /// purposes: fresh statistics can change strategy and estimate
+    /// choices, so cached plans are invalidated.
     fn run_analyze(&self, table: &str, threads: usize) -> Result<QueryOutcome, NraError> {
-        let stats = self.catalog.table(table)?.analyze();
+        let stats = self.catalog().table(table)?.analyze();
+        self.shared.invalidate_plans();
         nra_obs::metrics::both(|m| m.counter_add("nra_analyze_total", &[("table", table)], 1));
         let mut plan = format!("analyze {table}: {} row(s)\n", stats.row_count);
         for col in &stats.columns {
@@ -815,28 +1076,77 @@ impl Database {
         })
     }
 
-    /// Parse and run a full (possibly compound) query through `engine`,
-    /// returning the result and — for single-statement queries — the
-    /// bound form of the statement for plan rendering.
+    /// Parse and run a full (possibly compound) query through the
+    /// engine in `options`, returning the result and — for
+    /// single-statement queries — the bound form of the statement for
+    /// plan rendering.
+    ///
+    /// Repeat statements are answered from the process-wide plan cache
+    /// (keyed on this database's id plus the normalized SQL, valid
+    /// while the schema version matches): a hit skips the parser and
+    /// binder entirely. Cache counters live in the global metrics
+    /// scope only — whether a statement hits depends on process
+    /// history, which must not leak into the thread-invariant per-query
+    /// snapshot.
     fn run_statements(
         &self,
+        cat: &Catalog,
         sql: &str,
-        engine: Engine,
+        options: &QueryOptions,
     ) -> Result<(Relation, Option<BoundQuery>), NraError> {
-        let query = nra_sql::parse_query(sql)?;
-        let bound_first = nra_sql::bind(&query.first, &self.catalog)?;
+        let engine = options.engine;
+        let version = self.shared.version.load(Ordering::SeqCst);
+        let cache_key = options
+            .plan_cache_enabled()
+            .then(|| nra_sql::normalize::normalize(sql));
+        let cached = cache_key
+            .as_deref()
+            .and_then(|key| plancache::lookup(self.shared.id, version, key));
+        let hit = cached.is_some();
+        let (query, bound_first, bound_rest) = match cached {
+            Some(plan) => {
+                obs::trace::emit(|| obs::trace::TraceEvent::Governor {
+                    action: "plan-cache".to_string(),
+                    detail: "hit".to_string(),
+                });
+                (plan.query, plan.bound_first, plan.bound_rest)
+            }
+            None => {
+                let query = nra_sql::parse_query(sql)?;
+                let bound_first = nra_sql::bind(&query.first, cat)?;
+                let bound_rest = query
+                    .compounds
+                    .iter()
+                    .map(|part| nra_sql::bind(&part.stmt, cat))
+                    .collect::<Result<Vec<_>, _>>()?;
+                (query, bound_first, bound_rest)
+            }
+        };
+        if let (Some(key), false) = (cache_key, hit) {
+            plancache::insert(
+                self.shared.id,
+                version,
+                key,
+                plancache::CachedPlan {
+                    query: query.clone(),
+                    bound_first: bound_first.clone(),
+                    bound_rest: bound_rest.clone(),
+                    strategy: strategy_label(engine, Some(&bound_first)),
+                },
+            );
+        }
         let single = query.compounds.is_empty();
         // Seed the progress denominator from the planner's cardinality
         // estimates for the first block (compound arms only add to the
         // numerator, which the 99%-cap before `finish` absorbs).
         if let Some(p) = obs::progress::current() {
-            let est = nra_core::estimate(&bound_first, &self.catalog);
+            let est = nra_core::estimate(&bound_first, cat);
             p.set_estimated(est.iter().map(|(_, v)| v).sum());
         }
         let mut exec_phase = obs::trace::phase(|| "execute".to_string());
-        let mut rel = self.run_bound(&bound_first, engine)?;
-        for part in &query.compounds {
-            let right = self.run_bound(&nra_sql::bind(&part.stmt, &self.catalog)?, engine)?;
+        let mut rel = self.run_bound(cat, &bound_first, engine)?;
+        for (part, bound) in query.compounds.iter().zip(&bound_rest) {
+            let right = self.run_bound(cat, bound, engine)?;
             use nra_engine::ops::setops;
             use nra_sql::SetOpKind;
             rel = match (part.op, part.all) {
@@ -893,19 +1203,22 @@ impl Database {
     }
 
     /// Execute a prepared (bound) single statement.
-    fn run_bound(&self, query: &BoundQuery, engine: Engine) -> Result<Relation, NraError> {
+    fn run_bound(
+        &self,
+        cat: &Catalog,
+        query: &BoundQuery,
+        engine: Engine,
+    ) -> Result<Relation, NraError> {
         Ok(match engine {
-            Engine::NestedRelational(strategy) => {
-                nra_core::execute(query, &self.catalog, strategy)?
-            }
-            Engine::Baseline => nra_engine::baseline::execute(query, &self.catalog)?,
-            Engine::Reference => nra_engine::reference::evaluate(query, &self.catalog)?,
+            Engine::NestedRelational(strategy) => nra_core::execute(query, cat, strategy)?,
+            Engine::Baseline => nra_engine::baseline::execute(query, cat)?,
+            Engine::Reference => nra_engine::reference::evaluate(query, cat)?,
         })
     }
 
     /// The one-line `EXPLAIN` text. For a compound query, explains the
     /// first `SELECT` block and notes the set operations applied on top.
-    fn explain_text(&self, sql: &str) -> Result<String, NraError> {
+    fn explain_text(&self, cat: &Catalog, sql: &str) -> Result<String, NraError> {
         let parsed = nra_sql::parse_query(sql)?;
         let suffix = if parsed.compounds.is_empty() {
             String::new()
@@ -915,7 +1228,7 @@ impl Database {
                 parsed.compounds.len()
             )
         };
-        let bound = nra_sql::bind(&parsed.first, &self.catalog)?;
+        let bound = nra_sql::bind(&parsed.first, cat)?;
         let nr = match nra_core::auto_strategy(&bound) {
             Strategy::PositiveRewrite => "positive rewrite (semijoin cascade)",
             Strategy::BottomUpPushdown => "bottom-up with nest push-down",
@@ -924,7 +1237,7 @@ impl Database {
             Strategy::Original => "Algorithm 1 (two-pass)",
             Strategy::Auto => unreachable!("auto resolves to a concrete strategy"),
         };
-        let baseline = nra_engine::baseline::describe(&bound, &self.catalog);
+        let baseline = nra_engine::baseline::describe(&bound, cat);
         Ok(format!(
             "nested relational: {nr}; baseline (System A): {baseline}{suffix}"
         ))
@@ -960,6 +1273,15 @@ fn strategy_label(engine: Engine, bound: Option<&BoundQuery>) -> &'static str {
 /// or with a `[kind]` suffix (`b2/nest` matches `b2/nest[sort]`); `None`
 /// when nothing matched — the estimator may cover nodes an optimized
 /// pipeline fused away.
+/// `NRA_MEM_LIMIT`, parsed the same way the governor parses it — the
+/// admission controller reserves exactly the budget the query will run
+/// under.
+fn env_mem_limit() -> Option<u64> {
+    std::env::var("NRA_MEM_LIMIT")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+}
+
 fn merged_rows_out(profile: &obs::Profile, prefix: &str) -> Option<u64> {
     let mut acc: Option<u64> = None;
     for (name, stats) in &profile.ops {
@@ -1013,7 +1335,7 @@ mod tests {
     use nra_storage::{ColumnType, Value};
 
     fn db() -> Database {
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_table(
             "x",
             vec![
@@ -1132,7 +1454,7 @@ mod tests {
 
     #[test]
     fn errors_are_surfaced_with_sources() {
-        let mut db = db();
+        let db = db();
         let err = db
             .execute("select nope from x", &QueryOptions::new())
             .unwrap_err();

@@ -20,6 +20,9 @@
 //!   *base* catalog (one row per analyzed column).
 //! * `nra_sys.operators` — per-operator invocation/row totals pivoted
 //!   from the global metrics counters.
+//! * `nra_sys.plan_cache` — this database's entries in the process-wide
+//!   plan cache (normalized statement, resolved strategy, hit count,
+//!   schema version), in insertion order.
 //!
 //! Introspection queries run with the crate-private `introspection`
 //! flag set, which excludes them from the query registry, progress
@@ -28,7 +31,7 @@
 
 use std::collections::BTreeSet;
 
-use crate::{Database, NraError, QueryOptions, QueryOutcome};
+use crate::{plancache, Database, NraError, QueryOptions, QueryOutcome};
 use nra_obs::metrics::{self, Metric};
 use nra_obs::queryreg;
 use nra_sql::{Predicate, Query, SelectStmt, SqlError};
@@ -122,12 +125,13 @@ fn build_sys_table(db: &Database, full_name: &str, kind: &str) -> Result<Table, 
         "queries" => queries_table(full_name),
         "running" => running_table(full_name),
         "metrics" => metrics_table(full_name),
-        "table_stats" => table_stats_table(full_name, db.catalog()),
+        "table_stats" => table_stats_table(full_name, &db.catalog()),
         "operators" => operators_table(full_name),
+        "plan_cache" => plan_cache_table(full_name, db),
         other => {
             return Err(NraError::Sql(SqlError::bind(format!(
                 "unknown system table `nra_sys.{other}` \
-                 (available: queries, running, metrics, table_stats, operators)"
+                 (available: queries, running, metrics, table_stats, operators, plan_cache)"
             ))))
         }
     })
@@ -160,6 +164,7 @@ fn queries_table(name: &str) -> Table {
             Column::not_null("qerror_x100", ColumnType::Int),
             Column::not_null("mem_bytes", ColumnType::Int),
             Column::not_null("strategy", ColumnType::Str),
+            Column::not_null("session", ColumnType::Int),
         ]),
     );
     let rows = queryreg::global()
@@ -176,6 +181,33 @@ fn queries_table(name: &str) -> Table {
                 int(r.qerror_x100),
                 int(r.mem_bytes),
                 Value::Str(r.strategy),
+                int(r.session),
+            ]
+        })
+        .collect();
+    fill(table, rows)
+}
+
+/// `nra_sys.plan_cache`: this database's plan-cache entries, oldest
+/// first.
+fn plan_cache_table(name: &str, db: &Database) -> Table {
+    let table = Table::new(
+        name,
+        Schema::new(vec![
+            Column::not_null("statement", ColumnType::Str),
+            Column::not_null("strategy", ColumnType::Str),
+            Column::not_null("hits", ColumnType::Int),
+            Column::not_null("version", ColumnType::Int),
+        ]),
+    );
+    let rows = plancache::snapshot_db(db.id())
+        .into_iter()
+        .map(|r| {
+            vec![
+                Value::Str(r.statement),
+                Value::Str(r.strategy.to_string()),
+                int(r.hits),
+                int(r.version),
             ]
         })
         .collect();

@@ -7,7 +7,7 @@ use nra::{Database, Engine, QueryOptions, Strategy};
 use nra_storage::{Column, ColumnType, Value};
 
 fn db() -> Database {
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table(
         "dept",
         vec![
@@ -66,7 +66,8 @@ fn engines() -> Vec<(&'static str, Engine)> {
 fn check(db: &Database, sql: &str, expected_rows: usize) {
     for (name, engine) in engines() {
         let out = db
-            .execute(sql, &QueryOptions::new().engine(engine))
+            .connect()
+            .execute_with(sql, &QueryOptions::new().engine(engine))
             .unwrap()
             .rows;
         assert_eq!(
@@ -179,15 +180,20 @@ fn explain_shows_aggregate_link() {
 fn binder_rejects_misplaced_aggregates() {
     let db = db();
     let opts = QueryOptions::new();
-    assert!(db.execute("select max(budget) from dept", &opts).is_err());
     assert!(db
-        .execute(
+        .connect()
+        .execute_with("select max(budget) from dept", &opts)
+        .is_err());
+    assert!(db
+        .connect()
+        .execute_with(
             "select dno from dept where budget in (select max(salary) from emp)",
             &opts
         )
         .is_err());
     assert!(db
-        .execute(
+        .connect()
+        .execute_with(
             "select dno from dept where budget > (select salary from emp)",
             &opts
         )

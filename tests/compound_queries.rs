@@ -6,7 +6,7 @@ use nra::storage::{Column, ColumnType, Value};
 use nra::{Database, Engine, QueryOptions, Strategy};
 
 fn db() -> Database {
-    let mut db = Database::new();
+    let db = Database::new();
     for name in ["t", "u"] {
         db.create_table(
             name,
@@ -40,7 +40,10 @@ fn db() -> Database {
 }
 
 fn q(db: &Database, sql: &str) -> nra_storage::Relation {
-    db.execute(sql, &QueryOptions::new()).unwrap().rows
+    db.connect()
+        .execute_with(sql, &QueryOptions::new())
+        .unwrap()
+        .rows
 }
 
 #[test]
@@ -85,7 +88,8 @@ fn compound_arms_can_hold_subqueries() {
                union select k from u where not exists \
                  (select * from t t2 where t2.k = u.k)";
     let oracle = db
-        .execute(sql, &QueryOptions::new().engine(Engine::Reference))
+        .connect()
+        .execute_with(sql, &QueryOptions::new().engine(Engine::Reference))
         .unwrap()
         .rows;
     for engine in [
@@ -94,7 +98,8 @@ fn compound_arms_can_hold_subqueries() {
         Engine::NestedRelational(Strategy::Optimized),
     ] {
         let got = db
-            .execute(sql, &QueryOptions::new().engine(engine))
+            .connect()
+            .execute_with(sql, &QueryOptions::new().engine(engine))
             .unwrap()
             .rows;
         assert!(got.multiset_eq(&oracle), "{engine:?}");
@@ -106,12 +111,19 @@ fn errors_surface() {
     let db = db();
     let opts = QueryOptions::new();
     assert!(
-        db.execute("select k, v from t union select k from u", &opts)
+        db.connect()
+            .execute_with("select k, v from t union select k from u", &opts)
             .is_err(),
         "arity"
     );
-    assert!(db.execute("select k from t order by nope", &opts).is_err());
-    assert!(db.execute("select k from t limit -1", &opts).is_err());
+    assert!(db
+        .connect()
+        .execute_with("select k from t order by nope", &opts)
+        .is_err());
+    assert!(db
+        .connect()
+        .execute_with("select k from t limit -1", &opts)
+        .is_err());
     // prepare() remains single-block only.
     assert!(db.prepare("select k from t union select k from u").is_err());
 }

@@ -31,7 +31,8 @@ fn concurrent_queries_keep_observability_isolated_and_lossless() {
                 for q in 0..QUERIES_PER_THREAD {
                     let sql = marker_sql(t, q);
                     let out = database
-                        .execute(
+                        .connect()
+                        .execute_with(
                             &sql,
                             &QueryOptions::new()
                                 .strategy(Strategy::Original)

@@ -13,16 +13,17 @@ fn db() -> Database {
 /// `EXPLAIN ANALYZE` through the unified API: profile + simulated I/O
 /// under the Original strategy, reading the rendered analyzed plan.
 fn analyze(db: &Database) -> String {
-    db.execute(
-        QUERY_Q,
-        &QueryOptions::new()
-            .strategy(Strategy::Original)
-            .collect_profile(true)
-            .simulate_io(true),
-    )
-    .unwrap()
-    .plan
-    .unwrap()
+    db.connect()
+        .execute_with(
+            QUERY_Q,
+            &QueryOptions::new()
+                .strategy(Strategy::Original)
+                .collect_profile(true)
+                .simulate_io(true),
+        )
+        .unwrap()
+        .plan
+        .unwrap()
 }
 
 /// The deterministic skeleton of the analyzed plan: operator shapes and
@@ -115,7 +116,8 @@ fn no_node_renders_the_missing_estimate_placeholder() {
 fn nest_rows_out_equals_group_count() {
     let database = db();
     let profile = database
-        .execute(
+        .connect()
+        .execute_with(
             QUERY_Q,
             &QueryOptions::new()
                 .strategy(Strategy::Original)
@@ -145,7 +147,8 @@ fn nest_rows_out_equals_group_count() {
 fn padded_tuples_equal_failing_tuples() {
     let database = db();
     let profile = database
-        .execute(
+        .connect()
+        .execute_with(
             QUERY_Q,
             &QueryOptions::new()
                 .strategy(Strategy::Original)
@@ -180,7 +183,10 @@ fn padded_tuples_equal_failing_tuples() {
 fn counters_stay_zero_when_disabled() {
     let database = db();
     assert!(!obs::is_enabled());
-    database.execute(QUERY_Q, &QueryOptions::new()).unwrap();
+    database
+        .connect()
+        .execute_with(QUERY_Q, &QueryOptions::new())
+        .unwrap();
     let snap = obs::snapshot();
     assert!(snap.is_empty(), "disabled run must record nothing");
     assert!(snap.ops.is_empty());

@@ -21,7 +21,10 @@ fn engine_err(err: NraError) -> EngineError {
 }
 
 fn baseline(db: &Database, opts: &QueryOptions) -> Relation {
-    db.execute(QUERY_Q, opts).expect("clean run").rows
+    db.connect()
+        .execute_with(QUERY_Q, opts)
+        .expect("clean run")
+        .rows
 }
 
 /// A budget far too small for Query Q fails with ResourceExhausted, and
@@ -33,7 +36,8 @@ fn mem_limit_fails_then_database_recovers() {
     let clean = baseline(&db, &QueryOptions::new());
 
     let err = db
-        .execute(QUERY_Q, &QueryOptions::new().mem_limit_bytes(256))
+        .connect()
+        .execute_with(QUERY_Q, &QueryOptions::new().mem_limit_bytes(256))
         .expect_err("256 bytes cannot hold Query Q's intermediates");
     match engine_err(err) {
         EngineError::ResourceExhausted {
@@ -66,7 +70,8 @@ fn cancellation_across_thread_counts() {
         let token = CancelToken::new();
         token.cancel();
         let err = db
-            .execute(
+            .connect()
+            .execute_with(
                 QUERY_Q,
                 &QueryOptions::new()
                     .threads(threads)
@@ -80,7 +85,8 @@ fn cancellation_across_thread_counts() {
         );
 
         let out = db
-            .execute(
+            .connect()
+            .execute_with(
                 QUERY_Q,
                 &QueryOptions::new().threads(threads).collect_profile(true),
             )
@@ -100,7 +106,9 @@ fn timeout_zero_reports_interrupted_phase_in_trace() {
     // this thread directly and read it back after the failure.
     let (ring, handle) = RingSink::with_capacity(256);
     trace::start(vec![Box::new(ring)]);
-    let result = db.execute(QUERY_Q, &QueryOptions::new().timeout_ms(0));
+    let result = db
+        .connect()
+        .execute_with(QUERY_Q, &QueryOptions::new().timeout_ms(0));
     trace::stop();
     let captured = handle.take();
 
@@ -135,7 +143,8 @@ fn fault_matrix_structured_errors_and_recovery() {
         for site in faultinject::SITES {
             for kind in [FaultKind::AllocFail, FaultKind::Panic] {
                 let err = db
-                    .execute(QUERY_Q, &opts().threads(threads).fault(site, 1, kind))
+                    .connect()
+                    .execute_with(QUERY_Q, &opts().threads(threads).fault(site, 1, kind))
                     .map(|out| out.rows.len())
                     .expect_err(&format!(
                         "fault {site}:{kind:?} at {threads} threads must surface"
@@ -184,7 +193,7 @@ fn delay_fault_does_not_change_results() {
 #[test]
 fn pushdown_strategy_is_governed() {
     use nra::storage::{Column, ColumnType, Value};
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table(
         "p",
         vec![
@@ -221,10 +230,15 @@ fn pushdown_strategy_is_governed() {
     let sql = "select id from p where v > all (select w from c where c.pid = p.id)";
     let opts = || QueryOptions::new().strategy(Strategy::BottomUpPushdown);
 
-    let clean = db.execute(sql, &opts()).expect("clean run").rows;
+    let clean = db
+        .connect()
+        .execute_with(sql, &opts())
+        .expect("clean run")
+        .rows;
 
     let err = engine_err(
-        db.execute(sql, &opts().mem_limit_bytes(512))
+        db.connect()
+            .execute_with(sql, &opts().mem_limit_bytes(512))
             .map(|o| o.rows.len())
             .expect_err("512 bytes cannot hold the pushed-down group map"),
     );
@@ -235,7 +249,8 @@ fn pushdown_strategy_is_governed() {
 
     for kind in [FaultKind::AllocFail, FaultKind::Panic] {
         let err = engine_err(
-            db.execute(sql, &opts().fault(faultinject::NEST_FLUSH, 1, kind))
+            db.connect()
+                .execute_with(sql, &opts().fault(faultinject::NEST_FLUSH, 1, kind))
                 .map(|o| o.rows.len())
                 .expect_err("injected nest-flush fault must surface"),
         );
@@ -253,6 +268,10 @@ fn pushdown_strategy_is_governed() {
         }
     }
 
-    let again = db.execute(sql, &opts()).expect("recovered run").rows;
+    let again = db
+        .connect()
+        .execute_with(sql, &opts())
+        .expect("recovered run")
+        .rows;
     assert_eq!(clean.rows(), again.rows());
 }

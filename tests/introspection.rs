@@ -21,7 +21,8 @@ fn db() -> Database {
 #[test]
 fn query_q_final_progress_matches_profile() {
     let out = db()
-        .execute(
+        .connect()
+        .execute_with(
             QUERY_Q,
             &QueryOptions::new()
                 .strategy(Strategy::Original)
@@ -43,9 +44,12 @@ fn query_q_final_progress_matches_profile() {
 fn completed_queries_are_sql_queryable() {
     let marker = "select r.a from r where r.a = 771001";
     let database = db();
-    database.execute(marker, &QueryOptions::new()).unwrap();
+    database
+        .connect()
+        .execute_with(marker, &QueryOptions::new())
+        .unwrap();
     let out = database
-        .execute(
+        .connect().execute_with(
             &format!("select sql, outcome, threads, strategy from nra_sys.queries where sql = '{marker}'"),
             &QueryOptions::new().threads(1),
         )
@@ -68,14 +72,16 @@ fn failed_queries_are_recorded_with_outcome() {
     let marker = "select r.a from r where r.a = 771002 and r.b = 771002";
     let database = db();
     let err = database
-        .execute(marker, &QueryOptions::new().timeout_ms(0))
+        .connect()
+        .execute_with(marker, &QueryOptions::new().timeout_ms(0))
         .unwrap_err();
     assert!(matches!(
         err,
         nra::NraError::Engine(nra::engine::EngineError::Cancelled { .. })
     ));
     let out = database
-        .execute(
+        .connect()
+        .execute_with(
             &format!("select outcome from nra_sys.queries where sql = '{marker}'"),
             &QueryOptions::new(),
         )
@@ -93,9 +99,12 @@ fn failed_queries_are_recorded_with_outcome() {
 fn introspection_queries_stay_out_of_the_registry() {
     let database = db();
     let probe = "select id from nra_sys.queries where id = 881001";
-    database.execute(probe, &QueryOptions::new()).unwrap();
+    database
+        .connect()
+        .execute_with(probe, &QueryOptions::new())
+        .unwrap();
     let out = database
-        .execute(
+        .connect().execute_with(
             "select sql from nra_sys.queries where sql = 'select id from nra_sys.queries where id = 881001'",
             &QueryOptions::new(),
         )
@@ -124,7 +133,8 @@ fn running_table_reflects_registered_queries() {
     let id = nra::obs::queryreg::global().register("select 991001 from fake", progress.clone());
     let database = db();
     let out = database
-        .execute(
+        .connect()
+        .execute_with(
             "select id, phase, percent, rows_processed from nra_sys.running \
              where sql = 'select 991001 from fake'",
             &QueryOptions::new(),
@@ -141,6 +151,7 @@ fn running_table_reflects_registered_queries() {
         qerror_x100: 0,
         mem_bytes: 0,
         strategy: "original".to_string(),
+        session: 0,
     });
     assert_eq!(out.rows.len(), 1, "registered query is visible");
     let row = &out.rows.rows()[0];
@@ -154,7 +165,7 @@ fn running_table_reflects_registered_queries() {
 /// the query is visible in the running table while it executes.
 #[test]
 fn mid_query_snapshots_are_monotonic() {
-    let mut database = Database::new();
+    let database = Database::new();
     database
         .create_table(
             "big",
@@ -176,7 +187,8 @@ fn mid_query_snapshots_are_monotonic() {
         let database = Arc::clone(&database);
         std::thread::spawn(move || {
             database
-                .execute(marker, &QueryOptions::new().threads(1))
+                .connect()
+                .execute_with(marker, &QueryOptions::new().threads(1))
                 .unwrap()
         })
     };
@@ -217,17 +229,22 @@ fn mid_query_snapshots_are_monotonic() {
 fn metrics_operators_and_table_stats_are_queryable() {
     let database = db();
     database
-        .execute(
+        .connect()
+        .execute_with(
             QUERY_Q,
             &QueryOptions::new()
                 .strategy(Strategy::Original)
                 .collect_profile(true),
         )
         .unwrap();
-    database.execute("analyze r", &QueryOptions::new()).unwrap();
+    database
+        .connect()
+        .execute_with("analyze r", &QueryOptions::new())
+        .unwrap();
 
     let metrics = database
-        .execute(
+        .connect()
+        .execute_with(
             "select name, kind, value from nra_sys.metrics where name = 'nra_rows_produced_total'",
             &QueryOptions::new(),
         )
@@ -236,7 +253,8 @@ fn metrics_operators_and_table_stats_are_queryable() {
     assert_eq!(metrics.rows.rows()[0][1], Value::Str("counter".to_string()));
 
     let operators = database
-        .execute(
+        .connect()
+        .execute_with(
             "select op, invocations, rows_in, rows_out from nra_sys.operators \
              where op = 'project'",
             &QueryOptions::new(),
@@ -248,7 +266,8 @@ fn metrics_operators_and_table_stats_are_queryable() {
     );
 
     let stats = database
-        .execute(
+        .connect()
+        .execute_with(
             "select table_name, row_count, ndv from nra_sys.table_stats \
              where table_name = 'r' and column_name = 'a'",
             &QueryOptions::new(),
@@ -264,10 +283,11 @@ fn metrics_operators_and_table_stats_are_queryable() {
 fn sys_tables_compose_with_the_sql_subset() {
     let database = db();
     database
-        .execute("select r.a from r where r.a = 661001", &QueryOptions::new())
+        .connect()
+        .execute_with("select r.a from r where r.a = 661001", &QueryOptions::new())
         .unwrap();
     let out = database
-        .execute(
+        .connect().execute_with(
             "select q.id from nra_sys.queries q where q.sql = 'select r.a from r where r.a = 661001' \
              and exists (select m.name from nra_sys.metrics m where m.name = 'nra_queries_total')",
             &QueryOptions::new(),
@@ -283,13 +303,14 @@ fn sys_tables_compose_with_the_sql_subset() {
 /// unknown system tables fail with a helpful error.
 #[test]
 fn reserved_schema_is_guarded() {
-    let mut database = db();
+    let database = db();
     let err = database
         .create_table("nra_sys.hack", vec![Column::new("x", ColumnType::Int)], &[])
         .unwrap_err();
     assert!(err.to_string().contains("reserved"), "{err}");
     let err = database
-        .execute("select x from nra_sys.bogus", &QueryOptions::new())
+        .connect()
+        .execute_with("select x from nra_sys.bogus", &QueryOptions::new())
         .unwrap_err();
     assert!(err.to_string().contains("unknown system table"), "{err}");
 }
@@ -309,9 +330,10 @@ fn slow_log_records_validate() {
         .collect_profile(true)
         .slow_ms(0)
         .slow_log(&path);
-    database.execute(QUERY_Q, &opts).unwrap();
+    database.connect().execute_with(QUERY_Q, &opts).unwrap();
     database
-        .execute(
+        .connect()
+        .execute_with(
             "select r.a from r where r.a > 1",
             &opts.clone().timeout_ms(0),
         )
@@ -331,7 +353,8 @@ fn slow_log_records_validate() {
 
     // A high threshold logs nothing.
     database
-        .execute(
+        .connect()
+        .execute_with(
             QUERY_Q,
             &QueryOptions::new().slow_ms(3_600_000).slow_log(&path),
         )
@@ -345,11 +368,13 @@ fn slow_log_records_validate() {
 fn dotted_table_names_resolve() {
     let database = db();
     database
-        .execute("select r.a from r", &QueryOptions::new())
+        .connect()
+        .execute_with("select r.a from r", &QueryOptions::new())
         .unwrap();
     // Unaliased: columns resolve under the bare table name.
     let out = database
-        .execute(
+        .connect()
+        .execute_with(
             "select queries.id from nra_sys.queries where queries.id = 0",
             &QueryOptions::new(),
         )
@@ -357,6 +382,7 @@ fn dotted_table_names_resolve() {
     assert_eq!(out.rows.len(), 0, "ids start at 1");
     // Aliased: the alias wins.
     database
-        .execute("select z.id from nra_sys.running z", &QueryOptions::new())
+        .connect()
+        .execute_with("select z.id from nra_sys.running z", &QueryOptions::new())
         .unwrap();
 }

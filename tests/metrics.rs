@@ -19,7 +19,8 @@ fn per_query_metrics_are_identical_across_thread_counts() {
     let mut rendered = Vec::new();
     for threads in [1usize, 2, 4] {
         let out = db
-            .execute(
+            .connect()
+            .execute_with(
                 &sql,
                 &QueryOptions::new()
                     .strategy(Strategy::Original)
@@ -51,7 +52,7 @@ fn per_query_metrics_are_identical_across_thread_counts() {
 /// records the miss.
 #[test]
 fn qerror_is_recorded_on_skewed_joins() {
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table(
         "big",
         vec![
@@ -85,11 +86,16 @@ fn qerror_is_recorded_on_skewed_joins() {
             .collect(),
     )
     .unwrap();
-    db.execute("analyze big", &QueryOptions::new()).unwrap();
-    db.execute("analyze probe", &QueryOptions::new()).unwrap();
+    db.connect()
+        .execute_with("analyze big", &QueryOptions::new())
+        .unwrap();
+    db.connect()
+        .execute_with("analyze probe", &QueryOptions::new())
+        .unwrap();
 
     let out = db
-        .execute(
+        .connect()
+        .execute_with(
             "select id from big where v in (select w from probe where probe.w = big.v)",
             &QueryOptions::new()
                 .strategy(Strategy::Original)
@@ -132,7 +138,7 @@ fn qerror_is_recorded_on_skewed_joins() {
 /// identical statistics — and inserts invalidate the stored stats.
 #[test]
 fn analyze_is_idempotent_and_invalidated_by_inserts() {
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table(
         "t",
         vec![
@@ -151,8 +157,14 @@ fn analyze_is_idempotent_and_invalidated_by_inserts() {
         ],
     )
     .unwrap();
-    let first = db.execute("analyze t", &QueryOptions::new()).unwrap();
-    let second = db.execute("analyze t", &QueryOptions::new()).unwrap();
+    let first = db
+        .connect()
+        .execute_with("analyze t", &QueryOptions::new())
+        .unwrap();
+    let second = db
+        .connect()
+        .execute_with("analyze t", &QueryOptions::new())
+        .unwrap();
     assert_eq!(first.plan, second.plan, "ANALYZE must be idempotent");
     let stats = db.catalog().table("t").unwrap().stats().unwrap();
     assert_eq!(stats.row_count, 3);
@@ -165,7 +177,10 @@ fn analyze_is_idempotent_and_invalidated_by_inserts() {
         db.catalog().table("t").unwrap().stats().is_none(),
         "inserts must invalidate statistics"
     );
-    let third = db.execute("analyze t", &QueryOptions::new()).unwrap();
+    let third = db
+        .connect()
+        .execute_with("analyze t", &QueryOptions::new())
+        .unwrap();
     assert!(third.plan.unwrap().contains("analyze t: 4 row(s)"));
 }
 
@@ -199,7 +214,8 @@ nra_query_mem_high_water_bytes 4096
 fn governor_high_water_trace_and_gauge_agree() {
     let db = Database::from_catalog(rst_catalog());
     let out = db
-        .execute(
+        .connect()
+        .execute_with(
             QUERY_Q,
             &QueryOptions::new()
                 .mem_limit_bytes(64 * 1024 * 1024)

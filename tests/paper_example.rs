@@ -28,7 +28,8 @@ fn query_q_all_engines_and_strategies() {
     ];
     for (name, engine) in engines {
         let got = db
-            .execute(QUERY_Q, &QueryOptions::new().engine(engine))
+            .connect()
+            .execute_with(QUERY_Q, &QueryOptions::new().engine(engine))
             .unwrap()
             .rows;
         let want = expected_relation(&got);
@@ -45,7 +46,8 @@ fn query_q_explain_reports_nested_iteration_baseline() {
     // correlation: System A cannot unnest it.
     let db = Database::from_catalog(rst_catalog());
     let plan = db
-        .execute(QUERY_Q, &QueryOptions::new().explain_only(true))
+        .connect()
+        .execute_with(QUERY_Q, &QueryOptions::new().explain_only(true))
         .unwrap()
         .plan
         .unwrap();
@@ -57,7 +59,7 @@ fn query_q_explain_reports_nested_iteration_baseline() {
 /// antijoin rewrite (`no S.B with R.A <= S.B`) would wrongly keep the row.
 #[test]
 fn section2_null_example_gt_all() {
-    let mut db = Database::new();
+    let db = Database::new();
     use nra_storage::{Column, ColumnType};
     db.create_table("ra", vec![Column::not_null("a", ColumnType::Int)], &["a"])
         .unwrap();
@@ -83,7 +85,8 @@ fn section2_null_example_gt_all() {
         Engine::NestedRelational(Strategy::Auto),
     ] {
         let out = db
-            .execute(
+            .connect()
+            .execute_with(
                 "select a from ra where a > all (select b from sb)",
                 &QueryOptions::new().engine(engine),
             )
@@ -98,7 +101,7 @@ fn section2_null_example_gt_all() {
 
     // ... and it is also not equal to `> (select max(b) ...)`: remove the
     // NULL and the row qualifies.
-    let mut db2 = Database::new();
+    let db2 = Database::new();
     use nra_storage::{Column as C2, ColumnType as CT2};
     db2.create_table("ra", vec![C2::not_null("a", CT2::Int)], &["a"])
         .unwrap();
@@ -115,7 +118,8 @@ fn section2_null_example_gt_all() {
     )
     .unwrap();
     let out = db2
-        .execute(
+        .connect()
+        .execute_with(
             "select a from ra where a > all (select b from sb)",
             &QueryOptions::new(),
         )
@@ -136,7 +140,8 @@ fn not_in_with_null_rejects_all() {
         Engine::NestedRelational(Strategy::Optimized),
     ] {
         let out = db
-            .execute(
+            .connect()
+            .execute_with(
                 "select b from r where b not in (select j from t)",
                 &QueryOptions::new().engine(engine),
             )
@@ -152,7 +157,8 @@ fn not_in_with_null_rejects_all() {
 fn empty_set_quantifier_semantics() {
     let db = Database::from_catalog(rst_catalog());
     let all = db
-        .execute(
+        .connect()
+        .execute_with(
             "select d from r where b > all (select e from s where s.f = 999)",
             &QueryOptions::new(),
         )
@@ -160,7 +166,8 @@ fn empty_set_quantifier_semantics() {
         .rows;
     assert_eq!(all.len(), 4, "every r row qualifies, including b = NULL");
     let some = db
-        .execute(
+        .connect()
+        .execute_with(
             "select d from r where b > some (select e from s where s.f = 999)",
             &QueryOptions::new(),
         )

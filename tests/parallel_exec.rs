@@ -12,7 +12,8 @@ use nra::tpch::queries::{q2_sql, Quant};
 use nra::{Database, Engine, QueryOptions, Strategy};
 
 fn rows_at(db: &Database, sql: &str, engine: Engine, threads: usize) -> nra::storage::Relation {
-    db.execute(sql, &QueryOptions::new().engine(engine).threads(threads))
+    db.connect()
+        .execute_with(sql, &QueryOptions::new().engine(engine).threads(threads))
         .unwrap()
         .rows
 }
@@ -76,7 +77,8 @@ fn outcome_reports_thread_budget() {
     let q = nra::tpch::paper_example::QUERY_Q;
 
     let out = db
-        .execute(q, &QueryOptions::new().threads(3).collect_profile(true))
+        .connect()
+        .execute_with(q, &QueryOptions::new().threads(3).collect_profile(true))
         .unwrap();
     assert_eq!(out.threads, 3);
     assert_eq!(out.profile.as_ref().unwrap().threads, 3);
@@ -84,14 +86,17 @@ fn outcome_reports_thread_budget() {
     // Without an explicit budget the ambient one (thread-local override,
     // else NRA_THREADS, else 1) applies.
     let guard = exec::set_threads(Some(2));
-    let out = db.execute(q, &QueryOptions::new()).unwrap();
+    let out = db.connect().execute_with(q, &QueryOptions::new()).unwrap();
     assert_eq!(out.threads, 2);
     drop(guard);
 
     // The per-query override is scoped to the call: the ambient budget is
     // restored afterwards.
     let ambient = exec::threads();
-    let _ = db.execute(q, &QueryOptions::new().threads(7)).unwrap();
+    let _ = db
+        .connect()
+        .execute_with(q, &QueryOptions::new().threads(7))
+        .unwrap();
     assert_eq!(exec::threads(), ambient);
 }
 
@@ -104,14 +109,16 @@ fn plan_artifacts_follow_options() {
     let q = nra::tpch::paper_example::QUERY_Q;
 
     let out = db
-        .execute(q, &QueryOptions::new().explain_only(true))
+        .connect()
+        .execute_with(q, &QueryOptions::new().explain_only(true))
         .unwrap();
     assert!(out.plan.is_some());
     assert!(out.rows.is_empty());
     assert!(out.profile.is_none());
 
     let analyzed = db
-        .execute(
+        .connect()
+        .execute_with(
             q,
             &QueryOptions::new()
                 .strategy(Strategy::Original)
@@ -125,7 +132,8 @@ fn plan_artifacts_follow_options() {
     assert!(analyzed.profile.is_some());
 
     let plain = db
-        .execute(q, &QueryOptions::new().strategy(Strategy::Original))
+        .connect()
+        .execute_with(q, &QueryOptions::new().strategy(Strategy::Original))
         .unwrap();
     assert!(plain.plan.is_none(), "no plan without a profile");
     assert!(!plain.rows.is_empty());
@@ -136,7 +144,8 @@ fn plan_artifacts_follow_options() {
 fn errors_chain_to_their_sources() {
     let db = Database::new();
     let err = db
-        .execute("select * from nowhere", &QueryOptions::new())
+        .connect()
+        .execute_with("select * from nowhere", &QueryOptions::new())
         .unwrap_err();
     let mut depth = 0;
     let mut cur: Option<&dyn std::error::Error> = Some(&err);

@@ -115,7 +115,7 @@ fn db_from(
     t1: &[(Option<i64>, Option<i64>)],
     t2: &[(Option<i64>, Option<i64>)],
 ) -> Database {
-    let mut db = Database::new();
+    let db = Database::new();
     for (name, cols, data) in [
         ("t0", ("a", "b"), t0),
         ("t1", ("c", "d"), t1),
@@ -150,7 +150,8 @@ fn corr_sql(corr: Corr, inner_col: &str, outer_col: &str) -> Option<String> {
 }
 
 fn run_at(db: &Database, sql: &str, engine: Engine, threads: usize) -> Relation {
-    db.execute(sql, &QueryOptions::new().engine(engine).threads(threads))
+    db.connect()
+        .execute_with(sql, &QueryOptions::new().engine(engine).threads(threads))
         .unwrap()
         .rows
 }

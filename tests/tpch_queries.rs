@@ -11,7 +11,8 @@ fn db(scale: f64) -> Database {
 }
 
 fn run(db: &Database, sql: &str, engine: Engine) -> nra::storage::Relation {
-    db.execute(sql, &QueryOptions::new().engine(engine))
+    db.connect()
+        .execute_with(sql, &QueryOptions::new().engine(engine))
         .unwrap()
         .rows
 }
@@ -40,7 +41,7 @@ fn check_all_engines(db: &Database, sql: &str) {
 #[test]
 fn q1_all_engines_agree() {
     let db = db(0.01);
-    let sql = q1_sql(db.catalog(), 150);
+    let sql = q1_sql(&db.catalog(), 150);
     check_all_engines(&db, &sql);
 }
 
@@ -49,18 +50,18 @@ fn q1_baseline_plan_depends_on_not_null() {
     // With NOT NULL on the money columns System A antijoins; dropping the
     // constraint (even with zero actual NULLs) forces nested iteration.
     let strict = db(0.01);
-    let sql = q1_sql(strict.catalog(), 150);
+    let sql = q1_sql(&strict.catalog(), 150);
     let bq = strict.prepare(&sql).unwrap();
     assert_eq!(
-        baseline::choose(&bq, strict.catalog()),
+        baseline::choose(&bq, &strict.catalog()),
         BaselineChoice::SemiAntiCascade
     );
 
     let loose = Database::from_catalog(generate(&TpchConfig::scaled(0.01).nullable_links(0.0)));
-    let sql = q1_sql(loose.catalog(), 150);
+    let sql = q1_sql(&loose.catalog(), 150);
     let bq = loose.prepare(&sql).unwrap();
     assert_eq!(
-        baseline::choose(&bq, loose.catalog()),
+        baseline::choose(&bq, &loose.catalog()),
         BaselineChoice::NestedIteration
     );
     check_all_engines(&loose, &sql);
@@ -69,40 +70,40 @@ fn q1_baseline_plan_depends_on_not_null() {
 #[test]
 fn q1_with_actual_nulls_agrees() {
     let db = Database::from_catalog(generate(&TpchConfig::scaled(0.01).nullable_links(0.15)));
-    let sql = q1_sql(db.catalog(), 150);
+    let sql = q1_sql(&db.catalog(), 150);
     check_all_engines(&db, &sql);
 }
 
 #[test]
 fn q2a_mixed_agrees_and_cascades() {
     let db = db(0.008);
-    let sql = q2_sql(db.catalog(), Quant::Any, 150, 200);
+    let sql = q2_sql(&db.catalog(), Quant::Any, 150, 200);
     let bq = db.prepare(&sql).unwrap();
     // ANY + NOT EXISTS: System A unnests bottom-up (semijoin + antijoin).
     assert_eq!(
-        baseline::choose(&bq, db.catalog()),
+        baseline::choose(&bq, &db.catalog()),
         BaselineChoice::SemiAntiCascade
     );
-    assert!(baseline::describe(&bq, db.catalog()).contains("semijoin + antijoin"));
+    assert!(baseline::describe(&bq, &db.catalog()).contains("semijoin + antijoin"));
     check_all_engines(&db, &sql);
 }
 
 #[test]
 fn q2b_negative_agrees() {
     let db = db(0.008);
-    let sql = q2_sql(db.catalog(), Quant::All, 150, 200);
+    let sql = q2_sql(&db.catalog(), Quant::All, 150, 200);
     check_all_engines(&db, &sql);
     // ALL with NOT NULL supplycost still cascades (two antijoins) — the
     // paper: "with a NOT NULL constraint ... processing Query 2a with two
     // antijoins instead of one antijoin and one semijoin".
     let bq = db.prepare(&sql).unwrap();
-    assert!(baseline::describe(&bq, db.catalog()).contains("antijoin + antijoin"));
+    assert!(baseline::describe(&bq, &db.catalog()).contains("antijoin + antijoin"));
     // Dropping the constraint forces nested iteration for the ALL level.
     let loose = Database::from_catalog(generate(&TpchConfig::scaled(0.008).nullable_links(0.0)));
-    let sql = q2_sql(loose.catalog(), Quant::All, 150, 200);
+    let sql = q2_sql(&loose.catalog(), Quant::All, 150, 200);
     let bq = loose.prepare(&sql).unwrap();
     assert_eq!(
-        baseline::choose(&bq, loose.catalog()),
+        baseline::choose(&bq, &loose.catalog()),
         BaselineChoice::NestedIteration
     );
     check_all_engines(&loose, &sql);
@@ -118,7 +119,7 @@ fn q3_all_variants_agree() {
     ];
     for (quant, exists) in variants {
         for corr in [Q3Corr::EqEq, Q3Corr::NeEq, Q3Corr::EqNe] {
-            let sql = q3_sql(db.catalog(), quant, exists, corr, 120, 150);
+            let sql = q3_sql(&db.catalog(), quant, exists, corr, 120, 150);
             let bq = db.prepare(&sql).unwrap();
             // Query 3's innermost block references `part` two levels up:
             // the linear cascade is impossible. Q3a/Q3b (ALL present)
@@ -130,7 +131,7 @@ fn q3_all_variants_agree() {
                 BaselineChoice::NestedIteration
             };
             assert_eq!(
-                baseline::choose(&bq, db.catalog()),
+                baseline::choose(&bq, &db.catalog()),
                 expected,
                 "{quant:?} {exists:?} {corr:?}"
             );
@@ -144,7 +145,7 @@ fn bottom_up_strategies_on_q2() {
     // Query 2 is linear correlated: the §4.2.3 / §4.2.4 strategies apply.
     let db = db(0.008);
     for quant in [Quant::Any, Quant::All] {
-        let sql = q2_sql(db.catalog(), quant, 150, 200);
+        let sql = q2_sql(&db.catalog(), quant, 150, 200);
         let oracle = run(&db, &sql, Engine::Reference);
         for strat in [Strategy::BottomUp, Strategy::BottomUpPushdown] {
             let got = run(&db, &sql, Engine::NestedRelational(strat));

@@ -14,7 +14,8 @@ fn db() -> Database {
 /// Run traced through the unified API, returning (rows, trace).
 fn traced(db: &Database, sql: &str) -> (nra::storage::Relation, nra::obs::trace::Trace) {
     let out = db
-        .execute(sql, &QueryOptions::new().collect_trace(true))
+        .connect()
+        .execute_with(sql, &QueryOptions::new().collect_trace(true))
         .unwrap();
     (out.rows, out.trace.unwrap())
 }
@@ -152,7 +153,10 @@ fn trace_jsonl_round_trips_through_the_json_parser() {
 fn disabled_path_emits_nothing_and_trace_query_cleans_up() {
     let database = db();
     assert!(!trace::enabled());
-    database.execute(QUERY_Q, &QueryOptions::new()).unwrap();
+    database
+        .connect()
+        .execute_with(QUERY_Q, &QueryOptions::new())
+        .unwrap();
     assert!(!trace::enabled(), "plain query must not install a tracer");
     // Nothing leaked into the collector either.
     assert!(obs::snapshot().is_empty());
@@ -168,7 +172,8 @@ fn disabled_path_emits_nothing_and_trace_query_cleans_up() {
 
     // Error path: parse failure still uninstalls the tracer.
     assert!(database
-        .execute("not sql at all", &QueryOptions::new().collect_trace(true))
+        .connect()
+        .execute_with("not sql at all", &QueryOptions::new().collect_trace(true))
         .is_err());
     assert!(!trace::enabled());
 
@@ -183,7 +188,8 @@ fn disabled_path_emits_nothing_and_trace_query_cleans_up() {
 #[test]
 fn failed_parse_traces_no_parsed_event() {
     let err = db()
-        .execute(
+        .connect()
+        .execute_with(
             "select from where",
             &QueryOptions::new().collect_trace(true),
         )
