@@ -36,6 +36,10 @@
 //! * `--slow-log <path>` — run the headline queries with a zero
 //!   slow-query threshold appending to `<path>`, then schema-validate
 //!   the whole log; non-zero exit on a malformed record
+//! * `--db <dir>` — durability mode: open (or create) a persistent
+//!   database at `<dir>`, importing the bench catalog on the first run
+//!   and recovering it (snapshot + WAL replay) on later runs, then run
+//!   the headline queries and checkpoint; no figures are produced
 //!
 //! Passing any unknown positional (e.g. `none`) selects no figures, so
 //! `experiments --scale 0.02 --record none` runs only the recorder.
@@ -99,6 +103,11 @@ struct Args {
     serve: bool,
     /// Client count for `--serve` (default 8).
     clients: usize,
+    /// Durability mode (`--db <dir>`): open a persistent database at
+    /// the directory, importing the bench catalog on first run and
+    /// recovering it (snapshot + WAL replay) on later runs, then run
+    /// the headline queries and checkpoint. No figures are produced.
+    db: Option<std::path::PathBuf>,
     figures: Vec<String>,
 }
 
@@ -120,6 +129,7 @@ fn parse_args() -> Args {
         slow_log: None,
         serve: false,
         clients: 8,
+        db: None,
         figures: vec![],
     };
     let mut it = std::env::args().skip(1);
@@ -189,6 +199,13 @@ fn parse_args() -> Args {
                     it.next()
                         .and_then(|v| v.parse().ok())
                         .expect("--batch-size takes a row count"),
+                )
+            }
+            "--db" => {
+                args.db = Some(
+                    it.next()
+                        .map(std::path::PathBuf::from)
+                        .expect("--db takes a directory path"),
                 )
             }
             other => args.figures.push(other.to_string()),
@@ -399,6 +416,10 @@ fn nrcost(cat: &Catalog, args: &Args) {
 
 fn main() {
     let args = parse_args();
+    if let Some(dir) = &args.db {
+        durable_bench(dir, args.scale, args.reps);
+        return;
+    }
     let _thread_budget = args
         .threads
         .map(|n| nra::engine::exec::set_threads(Some(n)));
@@ -671,6 +692,89 @@ fn check_trajectory(args: &Args) {
             std::process::exit(1);
         }
     }
+}
+
+/// `--db <dir>`: the CI durability mode. The first run against an empty
+/// directory imports the nullable bench catalog through the durable
+/// path (each table one atomic WAL `CreateTable` record); later runs
+/// recover the catalog from snapshot + log and report what replay did.
+/// Both runs execute the headline queries against the durable catalog
+/// and end with an explicit checkpoint. The `durable-catalog:` /
+/// `reopen-replay:` / `checkpoint:` lines are stable grep targets for
+/// the CI `durability-check` job.
+fn durable_bench(dir: &std::path::Path, scale: f64, reps: usize) {
+    let db = match nra::Database::open(dir) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!(
+                "error: cannot open durable database at {}: {e}",
+                dir.display()
+            );
+            std::process::exit(1);
+        }
+    };
+    let report = db
+        .recovery()
+        .expect("durable database has a recovery report");
+    let fresh = db.catalog().table_names().is_empty();
+    if fresh {
+        eprintln!("generating data at scale {scale} ...");
+        let cat = bench_catalog_nullable(scale);
+        for name in cat.table_names() {
+            db.add_table(cat.table(name).unwrap().clone())
+                .expect("import bench table");
+        }
+        println!(
+            "durable-catalog: imported {} table(s) into {}",
+            db.catalog().table_names().len(),
+            dir.display()
+        );
+    } else {
+        println!(
+            "durable-catalog: recovered {} table(s) from {} \
+             (snapshot lsn {}, {} record(s) replayed)",
+            db.catalog().table_names().len(),
+            dir.display(),
+            report.snapshot_lsn,
+            report.replayed
+        );
+        println!("reopen-replay: ok");
+    }
+    for msg in &report.messages {
+        println!("recovery: {msg}");
+    }
+
+    let grid = paper_grid(scale);
+    let q1_outer = *grid.q1_outer.last().unwrap();
+    let part = *grid.q23_part.last().unwrap();
+    let queries: Vec<(&'static str, String)> = {
+        let cat = db.catalog();
+        vec![
+            ("Q1", q1_sql(&cat, q1_outer)),
+            ("Q2A", q2_sql(&cat, Quant::Any, part, grid.q23_partsupp)),
+            ("Q2B", q2_sql(&cat, Quant::All, part, grid.q23_partsupp)),
+        ]
+    };
+    let session = db.connect();
+    println!("\n| query | median (ms) over {reps} rep(s) | rows |");
+    println!("|---|---|---|");
+    for (name, sql) in &queries {
+        let mut times = Vec::new();
+        let mut rows = 0;
+        for _ in 0..reps.max(1) {
+            let start = std::time::Instant::now();
+            let out = session
+                .execute(sql)
+                .unwrap_or_else(|e| panic!("headline query {name} runs durably: {e}"));
+            times.push(start.elapsed().as_secs_f64() * 1e3);
+            rows = out.rows.len();
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        println!("| {name} | {:.2} | {rows} |", times[times.len() / 2]);
+    }
+
+    let lsn = db.checkpoint().expect("checkpoint durable database");
+    println!("\ncheckpoint: lsn {lsn} at {}", dir.display());
 }
 
 /// `--metrics <path>`: run the headline queries through the facade with

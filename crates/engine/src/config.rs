@@ -1,0 +1,164 @@
+//! Strict validation of the engine's environment knobs.
+//!
+//! The runtime parsers stay lenient (a fault plan skips entries it does
+//! not recognize, `NRA_MEM_LIMIT` falls back to unlimited, ...), which
+//! kept PR-4-era behavior simple but meant a typo like
+//! `NRA_FAULT=join-build:x:panic` or `NRA_MEM_LIMIT=1GB` silently armed
+//! nothing. [`validate_env`] is the strict gate: the facade calls it
+//! before running a query and before opening a durable database, so
+//! malformed specs surface as a structured [`EngineError::Config`]
+//! instead of being ignored.
+
+use crate::error::EngineError;
+use crate::faultinject;
+use nra_storage::iofault;
+
+/// Every fault kind accepted somewhere in the `NRA_FAULT` grammar:
+/// engine kinds (`alloc`, `panic`, `delay`) plus the storage I/O kinds
+/// (`short-write`, `crash`, `io-error`).
+const FAULT_KINDS: [&str; 6] = [
+    "alloc",
+    "panic",
+    "delay",
+    "short-write",
+    "crash",
+    "io-error",
+];
+
+fn config_err(var: &str, value: &str, detail: String) -> EngineError {
+    EngineError::Config {
+        var: var.to_string(),
+        value: value.to_string(),
+        detail,
+    }
+}
+
+/// Validate one `NRA_FAULT` spec against the full grammar
+/// (`site:nth[:kind[:ms]]`, comma-separated) and both site/kind
+/// vocabularies. Returns the offending detail on failure.
+pub fn validate_fault_spec(spec: &str) -> Result<(), String> {
+    for entry in spec.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = entry.split(':').collect();
+        if parts.len() > 4 {
+            return Err(format!("entry `{entry}` has too many `:` fields"));
+        }
+        let site = parts[0].trim();
+        if !faultinject::SITES.contains(&site) && !iofault::IO_SITES.contains(&site) {
+            return Err(format!(
+                "unknown fault site `{site}` (known: {}, {})",
+                faultinject::SITES.join(", "),
+                iofault::IO_SITES.join(", ")
+            ));
+        }
+        let Some(nth) = parts.get(1) else {
+            return Err(format!("entry `{entry}` is missing the `nth` field"));
+        };
+        if nth.trim().parse::<u64>().is_err() {
+            return Err(format!(
+                "entry `{entry}`: `nth` must be an integer, got `{nth}`"
+            ));
+        }
+        if let Some(kind) = parts.get(2) {
+            let kind = kind.trim();
+            if !FAULT_KINDS.contains(&kind) {
+                return Err(format!(
+                    "entry `{entry}`: unknown fault kind `{kind}` (known: {})",
+                    FAULT_KINDS.join(", ")
+                ));
+            }
+            if let Some(ms) = parts.get(3) {
+                if kind != "delay" {
+                    return Err(format!(
+                        "entry `{entry}`: only `delay` takes a milliseconds field"
+                    ));
+                }
+                if ms.trim().parse::<u64>().is_err() {
+                    return Err(format!(
+                        "entry `{entry}`: milliseconds must be an integer, got `{ms}`"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Check every recognized environment knob that the engine otherwise
+/// parses leniently. Called by the facade before query execution and
+/// before `Database::open`.
+pub fn validate_env() -> Result<(), EngineError> {
+    if let Ok(v) = std::env::var("NRA_MEM_LIMIT") {
+        if v.trim().parse::<u64>().is_err() {
+            return Err(config_err(
+                "NRA_MEM_LIMIT",
+                &v,
+                "must be a byte count (plain non-negative integer)".into(),
+            ));
+        }
+    }
+    if let Ok(v) = std::env::var("NRA_BATCH_ROWS") {
+        match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => {}
+            Ok(_) => {
+                return Err(config_err(
+                    "NRA_BATCH_ROWS",
+                    &v,
+                    "batch size must be at least 1".into(),
+                ));
+            }
+            Err(_) => {
+                return Err(config_err(
+                    "NRA_BATCH_ROWS",
+                    &v,
+                    "must be a positive integer row count".into(),
+                ));
+            }
+        }
+    }
+    if let Ok(v) = std::env::var("NRA_FAULT") {
+        validate_fault_spec(&v).map_err(|detail| config_err("NRA_FAULT", &v, detail))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_specs_pass() {
+        for spec in [
+            "join-build:1:panic",
+            "nest-flush:3:alloc, linking-scan:2",
+            "partition-merge:1:delay:25",
+            "wal-append:1:short-write,wal-fsync:2:crash",
+            "checkpoint-write:1:io-error,snapshot-rename:1:crash",
+            "",
+            " , ",
+        ] {
+            assert!(validate_fault_spec(spec).is_ok(), "spec `{spec}` rejected");
+        }
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_with_detail() {
+        let cases = [
+            ("nonsense", "unknown fault site"),
+            ("join-build", "missing the `nth`"),
+            ("join-build:x:panic", "`nth` must be an integer"),
+            ("join-build:2:explode", "unknown fault kind"),
+            ("wal-apend:1:crash", "unknown fault site"),
+            ("join-build:1:panic:50", "only `delay`"),
+            ("join-build:1:delay:soon", "milliseconds must be an integer"),
+            ("join-build:1:delay:5:x", "too many"),
+        ];
+        for (spec, needle) in cases {
+            let err = validate_fault_spec(spec).unwrap_err();
+            assert!(err.contains(needle), "spec `{spec}`: got `{err}`");
+        }
+    }
+}

@@ -48,6 +48,23 @@ pub enum EngineError {
         running: usize,
         limit: u64,
     },
+    /// Unrecoverable damage in a persistent file (snapshot or
+    /// write-ahead log). Raised by `Database::open` when recovery finds
+    /// damage that the torn-tail rule cannot repair; the database
+    /// refuses to start rather than silently drop committed data.
+    Corruption {
+        file: String,
+        lsn: u64,
+        detail: String,
+    },
+    /// A malformed configuration value (`NRA_FAULT`, `NRA_MEM_LIMIT`,
+    /// `NRA_BATCH_ROWS`, ...). Reported up front instead of silently
+    /// ignoring the setting.
+    Config {
+        var: String,
+        value: String,
+        detail: String,
+    },
     Storage(StorageError),
     Sql(SqlError),
 }
@@ -68,6 +85,8 @@ impl EngineError {
             EngineError::Cancelled { .. } => "cancelled",
             EngineError::WorkerPanicked { .. } => "worker-panicked",
             EngineError::Admission { .. } => "admission",
+            EngineError::Corruption { .. } => "corruption",
+            EngineError::Config { .. } => "config",
             EngineError::Storage(_) => "storage",
             EngineError::Sql(_) => "sql",
         }
@@ -103,6 +122,12 @@ impl fmt::Display for EngineError {
                 "admission refused after {waited_ms} ms: {detail} \
                  ({running} running, limit {limit})"
             ),
+            EngineError::Corruption { file, lsn, detail } => {
+                write!(f, "corruption in `{file}` at lsn {lsn}: {detail}")
+            }
+            EngineError::Config { var, value, detail } => {
+                write!(f, "invalid {var}=`{value}`: {detail}")
+            }
             EngineError::Storage(e) => write!(f, "{e}"),
             EngineError::Sql(e) => write!(f, "{e}"),
         }
@@ -119,14 +144,23 @@ impl std::error::Error for EngineError {
             | EngineError::ResourceExhausted { .. }
             | EngineError::Cancelled { .. }
             | EngineError::WorkerPanicked { .. }
-            | EngineError::Admission { .. } => None,
+            | EngineError::Admission { .. }
+            | EngineError::Corruption { .. }
+            | EngineError::Config { .. } => None,
         }
     }
 }
 
 impl From<StorageError> for EngineError {
     fn from(e: StorageError) -> EngineError {
-        EngineError::Storage(e)
+        match e {
+            // Keep corruption structured end-to-end: `Database::open`
+            // and the recovery harness match on file/lsn/detail.
+            StorageError::Corruption { file, lsn, detail } => {
+                EngineError::Corruption { file, lsn, detail }
+            }
+            e => EngineError::Storage(e),
+        }
     }
 }
 

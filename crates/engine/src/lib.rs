@@ -26,6 +26,7 @@
 //!   FxHash-style hasher backing every hash table (see `DESIGN.md` §13).
 
 pub mod baseline;
+pub mod config;
 pub mod error;
 pub mod exec;
 pub mod expr;

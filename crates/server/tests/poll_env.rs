@@ -1,0 +1,51 @@
+//! `NRA_SERVER_POLL_MS` behavior, isolated in its own test binary
+//! because the environment is process-global: a malformed value is a
+//! structured `InvalidInput` error from both `serve` and
+//! `Client::connect`, and a valid one tunes the poll without changing
+//! protocol semantics.
+
+use nra::Database;
+use nra_server::{serve, Client};
+
+#[test]
+fn poll_env_is_validated_and_honored() {
+    // Malformed: rejected up front, not silently defaulted.
+    for bad in ["100ms", "-5", "0", ""] {
+        std::env::set_var("NRA_SERVER_POLL_MS", bad);
+        let err = serve(Database::new(), "127.0.0.1:0").unwrap_err();
+        assert_eq!(
+            err.kind(),
+            std::io::ErrorKind::InvalidInput,
+            "value `{bad}`"
+        );
+        assert!(
+            err.to_string().contains("NRA_SERVER_POLL_MS"),
+            "error names the variable: {err}"
+        );
+    }
+
+    // A malformed value also fails the client before any bytes move.
+    std::env::set_var("NRA_SERVER_POLL_MS", "bogus");
+    let err = Client::connect("127.0.0.1:1").unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+
+    // Valid: a short poll serves the full protocol and shuts down fast.
+    std::env::set_var("NRA_SERVER_POLL_MS", "10");
+    let db = Database::new();
+    let handle = serve(db, "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    assert_eq!(client.query(".ping").unwrap().rows.len(), 0);
+    let started = std::time::Instant::now();
+    handle.shutdown();
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(2),
+        "short poll keeps shutdown latency bounded"
+    );
+
+    // Unset: back to the 100 ms default.
+    std::env::remove_var("NRA_SERVER_POLL_MS");
+    let handle = serve(Database::new(), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    assert_eq!(client.query(".ping").unwrap().rows.len(), 0);
+    handle.shutdown();
+}

@@ -177,6 +177,13 @@ impl Table {
         stats
     }
 
+    /// Install statistics directly, as if [`Table::analyze`] had produced
+    /// them — used by crash recovery to replay a logged `ANALYZE` and by
+    /// snapshot load, where rescanning would recompute the same values.
+    pub fn set_stats(&self, stats: TableStats) {
+        *self.stats.write().unwrap_or_else(|e| e.into_inner()) = Some(stats);
+    }
+
     /// Statistics from the last [`Table::analyze`], if still valid.
     pub fn stats(&self) -> Option<TableStats> {
         self.stats.read().unwrap_or_else(|e| e.into_inner()).clone()

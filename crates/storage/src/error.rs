@@ -22,6 +22,15 @@ pub enum StorageError {
     },
     /// I/O or format error while importing/exporting data.
     Io(String),
+    /// Unrecoverable damage in a persistent file (snapshot or
+    /// write-ahead log): a checksum mismatch or undecodable record that
+    /// is *not* a torn tail. Recovery refuses to start rather than
+    /// silently dropping committed data.
+    Corruption {
+        file: String,
+        lsn: u64,
+        detail: String,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -47,6 +56,9 @@ impl fmt::Display for StorageError {
                 write!(f, "NULL value in NOT NULL column {column}")
             }
             StorageError::Io(m) => write!(f, "I/O error: {m}"),
+            StorageError::Corruption { file, lsn, detail } => {
+                write!(f, "corruption in `{file}` at lsn {lsn}: {detail}")
+            }
         }
     }
 }

@@ -1,0 +1,241 @@
+//! Deterministic I/O fault injection for the durability layer.
+//!
+//! The engine-side harness (`nra_engine::faultinject`) covers in-memory
+//! operator sites; this module covers the storage-side I/O sites that the
+//! crash-recovery harness exercises. It reuses the same `NRA_FAULT`
+//! grammar — `site:nth[:kind[:ms]]`, comma-separated — with its own site
+//! and kind vocabulary:
+//!
+//! * sites: `wal-append`, `wal-fsync`, `checkpoint-write`,
+//!   `snapshot-rename`
+//! * kinds: `short-write` (a prefix of the buffer reaches disk), `crash`
+//!   (the process "dies" before the bytes land), `io-error` (a transient
+//!   failure with no on-disk effect), `delay` (sleep `ms`, then succeed)
+//!
+//! Entries naming engine sites or engine kinds are ignored here (and vice
+//! versa), so one `NRA_FAULT` value can arm both harnesses. Tests install
+//! a plan thread-locally via [`install`] so parallel tests cannot see each
+//! other's faults; the process-wide `NRA_FAULT` fallback (parsed once) is
+//! what CLI/CI smokes use.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// Fault site: appending a record to the write-ahead log.
+pub const WAL_APPEND: &str = "wal-append";
+/// Fault site: fsyncing the write-ahead log after an append.
+pub const WAL_FSYNC: &str = "wal-fsync";
+/// Fault site: writing the temporary snapshot file during a checkpoint.
+pub const CHECKPOINT_WRITE: &str = "checkpoint-write";
+/// Fault site: atomically renaming the snapshot into place.
+pub const SNAPSHOT_RENAME: &str = "snapshot-rename";
+
+/// All storage-side I/O fault sites.
+pub const IO_SITES: [&str; 4] = [WAL_APPEND, WAL_FSYNC, CHECKPOINT_WRITE, SNAPSHOT_RENAME];
+
+/// What an armed I/O fault does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFaultKind {
+    /// Only a prefix of the buffer reaches disk, then the writer fails.
+    ShortWrite,
+    /// The simulated process dies before the bytes are written.
+    Crash,
+    /// A transient I/O error with no on-disk effect.
+    IoError,
+    /// Sleep for the given milliseconds, then proceed normally.
+    Delay(u64),
+}
+
+impl IoFaultKind {
+    fn parse(kind: &str, ms: Option<&str>) -> Option<IoFaultKind> {
+        match (kind, ms) {
+            ("short-write", None) => Some(IoFaultKind::ShortWrite),
+            ("crash", None) => Some(IoFaultKind::Crash),
+            ("io-error", None) => Some(IoFaultKind::IoError),
+            ("delay", ms) => Some(IoFaultKind::Delay(
+                ms.and_then(|m| m.parse().ok()).unwrap_or(10),
+            )),
+            _ => None,
+        }
+    }
+}
+
+/// The observable failure returned to the I/O call site when a fault
+/// fires ([`IoFaultKind::Delay`] sleeps inside [`hit`] and never
+/// surfaces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFailure {
+    ShortWrite,
+    Crash,
+    IoError,
+}
+
+#[derive(Debug)]
+struct IoSpec {
+    site: String,
+    nth: u64,
+    kind: IoFaultKind,
+    hits: AtomicU64,
+}
+
+/// A set of armed I/O faults; fires each spec exactly once, on the
+/// `nth` time its site is reached.
+#[derive(Debug, Default)]
+pub struct IoFaultPlan {
+    specs: Vec<IoSpec>,
+}
+
+impl IoFaultPlan {
+    pub fn push(&mut self, site: &str, nth: u64, kind: IoFaultKind) {
+        self.specs.push(IoSpec {
+            site: site.to_string(),
+            nth: nth.max(1),
+            kind,
+            hits: AtomicU64::new(0),
+        });
+    }
+
+    /// Parse the `NRA_FAULT` grammar, keeping only entries whose site is
+    /// one of [`IO_SITES`] and whose kind is an I/O kind. Anything else
+    /// is ignored here — `nra_engine::config::validate_env` is the strict
+    /// gate that rejects genuinely malformed specs up front.
+    pub fn parse(spec: &str) -> IoFaultPlan {
+        let mut plan = IoFaultPlan::default();
+        for entry in spec.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let mut parts = entry.split(':');
+            let (site, nth, kind, ms) = (parts.next(), parts.next(), parts.next(), parts.next());
+            let (Some(site), Some(nth)) = (site, nth) else {
+                continue;
+            };
+            if !IO_SITES.contains(&site) {
+                continue;
+            }
+            let Ok(nth) = nth.parse::<u64>() else {
+                continue;
+            };
+            let Some(kind) = IoFaultKind::parse(kind.unwrap_or("io-error"), ms) else {
+                continue;
+            };
+            plan.push(site, nth, kind);
+        }
+        plan
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    fn observe(&self, site: &str) -> Option<IoFailure> {
+        for spec in &self.specs {
+            if spec.site != site {
+                continue;
+            }
+            let n = spec.hits.fetch_add(1, Ordering::SeqCst) + 1;
+            if n != spec.nth {
+                continue;
+            }
+            match spec.kind {
+                IoFaultKind::ShortWrite => return Some(IoFailure::ShortWrite),
+                IoFaultKind::Crash => return Some(IoFailure::Crash),
+                IoFaultKind::IoError => return Some(IoFailure::IoError),
+                IoFaultKind::Delay(ms) => {
+                    std::thread::sleep(Duration::from_millis(ms));
+                    return None;
+                }
+            }
+        }
+        None
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<Arc<IoFaultPlan>>> = const { RefCell::new(None) };
+}
+
+static FROM_ENV: OnceLock<Option<Arc<IoFaultPlan>>> = OnceLock::new();
+
+/// Arm `plan` for the current thread; disarmed when the guard drops.
+pub fn install(plan: IoFaultPlan) -> IoFaultGuard {
+    LOCAL.with(|l| *l.borrow_mut() = Some(Arc::new(plan)));
+    IoFaultGuard { _priv: () }
+}
+
+/// RAII guard returned by [`install`].
+#[derive(Debug)]
+pub struct IoFaultGuard {
+    _priv: (),
+}
+
+impl Drop for IoFaultGuard {
+    fn drop(&mut self) {
+        LOCAL.with(|l| *l.borrow_mut() = None);
+    }
+}
+
+/// Probe an I/O fault site. Returns the failure to simulate, or `None`
+/// to proceed normally. The thread-local plan (tests) takes precedence;
+/// otherwise the process-wide plan parsed once from `NRA_FAULT` applies.
+pub fn hit(site: &str) -> Option<IoFailure> {
+    if let Some(f) = LOCAL
+        .with(|l| l.borrow().clone())
+        .and_then(|p| p.observe(site))
+    {
+        return Some(f);
+    }
+    FROM_ENV
+        .get_or_init(|| {
+            std::env::var("NRA_FAULT")
+                .ok()
+                .map(|s| IoFaultPlan::parse(&s))
+                .filter(|p| !p.is_empty())
+                .map(Arc::new)
+        })
+        .as_ref()
+        .and_then(|p| p.observe(site))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_keeps_io_entries_only() {
+        let plan = IoFaultPlan::parse(
+            "join-build:1:panic,wal-append:2:short-write,wal-fsync:1:alloc,\
+             checkpoint-write:1:io-error,snapshot-rename:1:crash,wal-append:1:delay:5,bogus",
+        );
+        assert_eq!(plan.specs.len(), 4);
+        assert_eq!(plan.specs[0].site, WAL_APPEND);
+        assert_eq!(plan.specs[0].nth, 2);
+        assert_eq!(plan.specs[0].kind, IoFaultKind::ShortWrite);
+        assert_eq!(plan.specs[3].kind, IoFaultKind::Delay(5));
+    }
+
+    #[test]
+    fn nth_counting_fires_once() {
+        let mut plan = IoFaultPlan::default();
+        plan.push(WAL_APPEND, 2, IoFaultKind::IoError);
+        assert_eq!(plan.observe(WAL_APPEND), None);
+        assert_eq!(plan.observe(WAL_APPEND), Some(IoFailure::IoError));
+        assert_eq!(plan.observe(WAL_APPEND), None);
+        assert_eq!(plan.observe(WAL_FSYNC), None);
+    }
+
+    #[test]
+    fn install_is_thread_local() {
+        let mut plan = IoFaultPlan::default();
+        plan.push(WAL_FSYNC, 1, IoFaultKind::Crash);
+        let guard = install(plan);
+        assert_eq!(hit(WAL_FSYNC), Some(IoFailure::Crash));
+        let other = std::thread::spawn(|| hit(WAL_FSYNC)).join().unwrap();
+        assert_eq!(other, None);
+        drop(guard);
+        assert_eq!(hit(WAL_FSYNC), None);
+    }
+}

@@ -12,15 +12,19 @@
 
 pub mod agg;
 pub mod catalog;
+pub mod checksum;
 pub mod csv;
+pub mod disk;
 pub mod error;
 pub mod index;
+pub mod iofault;
 pub mod iosim;
 pub mod relation;
 pub mod rng;
 pub mod schema;
 pub mod tuple;
 pub mod value;
+pub mod wal;
 
 pub use agg::{aggregate, AggFunc};
 pub use catalog::{Catalog, ColumnStats, Table, TableStats};

@@ -55,9 +55,11 @@ impl Relation {
         self.rows.is_empty()
     }
 
-    /// Append a row, validating arity, column types and `NOT NULL`
-    /// constraints.
-    pub fn push(&mut self, row: Tuple) -> Result<(), StorageError> {
+    /// Check a row against the schema (arity, column types, `NOT NULL`)
+    /// without appending it. The durable insert path validates every row
+    /// up front so a batch either logs-and-applies completely or leaves
+    /// the table untouched.
+    pub fn validate(&self, row: &[crate::value::Value]) -> Result<(), StorageError> {
         if row.len() != self.schema.len() {
             return Err(StorageError::ArityMismatch {
                 expected: self.schema.len(),
@@ -77,6 +79,13 @@ impl Relation {
                 });
             }
         }
+        Ok(())
+    }
+
+    /// Append a row, validating arity, column types and `NOT NULL`
+    /// constraints.
+    pub fn push(&mut self, row: Tuple) -> Result<(), StorageError> {
+        self.validate(&row)?;
         self.rows.push(row);
         Ok(())
     }

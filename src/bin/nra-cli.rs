@@ -45,6 +45,10 @@
 //!
 //! `--paper` loads the Section 2 running example (`R`/`S`/`T`); with it
 //! the SQL argument may be omitted and defaults to the paper's Query Q.
+//!
+//! `--db <dir>` (interactive or batch) opens a durable database rooted
+//! at `dir` — catalog mutations are write-ahead logged and survive
+//! restarts; `:checkpoint` folds the log into a snapshot.
 
 use std::io::{BufRead, BufReader, Write};
 use std::time::Instant;
@@ -68,16 +72,37 @@ struct Shell {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--db <dir>` opens (or creates) a durable database; it composes
+    // with both the interactive shell and batch mode.
+    let mut durable: Option<Database> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--db") {
+        if pos + 1 >= args.len() {
+            eprintln!("error: --db takes a directory path");
+            std::process::exit(1);
+        }
+        let path = args.remove(pos + 1);
+        args.remove(pos);
+        match Database::open(&path) {
+            Ok(db) => {
+                print_recovery(&path, &db);
+                durable = Some(db);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     if !args.is_empty() {
-        if let Err(e) = run_batch(&args) {
+        if let Err(e) = run_batch(&args, durable) {
             eprintln!("error: {e}");
             std::process::exit(1);
         }
         return;
     }
     let mut shell = Shell {
-        session: Database::new().connect(),
+        session: durable.unwrap_or_default().connect(),
         engine: Engine::default(),
         threads: None,
         timing: false,
@@ -112,9 +137,27 @@ fn main() {
     }
 }
 
-/// `nra-cli [--paper | --tpch <scale>] (--explain-analyze | --trace) ["<sql>"]`
-fn run_batch(args: &[String]) -> Result<(), String> {
-    let mut db: Option<Database> = None;
+/// Announce what `Database::open` recovered (tables, LSN watermarks,
+/// and any degradation such as a truncated torn tail).
+fn print_recovery(path: &str, db: &Database) {
+    if let (Some(report), Some(info)) = (db.recovery(), db.durability()) {
+        println!(
+            "opened durable database at {path}: {} table(s), last lsn {}, \
+             snapshot lsn {}, replayed {} record(s)",
+            db.catalog().table_names().len(),
+            info.last_lsn,
+            info.snapshot_lsn,
+            report.replayed,
+        );
+        for msg in &report.messages {
+            println!("recovery: {msg}");
+        }
+    }
+}
+
+/// `nra-cli [--db <dir> | --paper | --tpch <scale>] (--explain-analyze | --trace) ["<sql>"]`
+fn run_batch(args: &[String], durable: Option<Database>) -> Result<(), String> {
+    let mut db: Option<Database> = durable;
     let mut mode: Option<&str> = None;
     let mut sql: Option<String> = None;
     let mut paper = false;
@@ -149,8 +192,8 @@ fn run_batch(args: &[String]) -> Result<(), String> {
             }
             other => {
                 return Err(format!(
-                    "unknown argument `{other}`; usage: nra-cli [--paper | --tpch <scale>] \
-                     (--explain-analyze | --trace) [\"<sql>\"]"
+                    "unknown argument `{other}`; usage: nra-cli [--db <dir> | --paper | \
+                     --tpch <scale>] (--explain-analyze | --trace) [\"<sql>\"]"
                 ))
             }
         }
@@ -208,6 +251,11 @@ impl Shell {
                         let t = cat.table(name).map_err(err)?;
                         println!("{name}: {} rows, {} columns", t.len(), t.schema().len());
                     }
+                    Ok(())
+                }
+                "checkpoint" => {
+                    let lsn = self.db().checkpoint().map_err(err)?;
+                    println!("checkpoint written at lsn {lsn}");
                     Ok(())
                 }
                 "engine" => self.cmd_engine(args),
@@ -407,7 +455,7 @@ impl Shell {
             let cols: Vec<&str> = pk.split(',').map(str::trim).collect();
             table.set_primary_key(&cols).map_err(err)?;
         }
-        self.db().catalog_mut().add_table(table).map_err(err)?;
+        self.db().add_table(table).map_err(err)?;
         println!("created {name}");
         Ok(())
     }
@@ -535,6 +583,7 @@ const HELP: &str = "\
 :load <table> <file.csv>      load a CSV (header row) into a table
 :export <table> <file.csv>    dump a table to CSV
 :tables                       list tables with row counts
+:checkpoint                   snapshot a durable database and truncate its WAL
 :engine <auto|original|optimized|bottomup|pushdown|positive|baseline|oracle>
 :threads <n|auto>             worker budget for partition-parallel execution
 :timeout <ms|off>             cancel queries cooperatively after a deadline

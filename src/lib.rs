@@ -57,10 +57,12 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
+mod durable;
 mod plancache;
 mod session;
 mod sys;
 
+pub use durable::{DurabilityInfo, RecoveryReport};
 pub use session::Session;
 
 pub use nra_core as core;
@@ -400,10 +402,16 @@ struct DbShared {
     catalog: RwLock<Catalog>,
     /// Bumped on every catalog write (DDL, insert, `ANALYZE`, or a
     /// [`Database::catalog_mut`] guard dropping). A cached plan is
-    /// served only while its recorded version still matches.
+    /// served only while its recorded version still matches. Durable
+    /// databases restore it to the last applied LSN on open, so plans
+    /// cached before a crash can never match a recovered catalog.
     version: AtomicU64,
     admission: Mutex<Arc<AdmissionController>>,
     next_session: AtomicU64,
+    /// WAL + snapshot state for databases opened via [`Database::open`]
+    /// (`None` for in-memory databases). Lock order: the catalog lock
+    /// is always taken before this mutex.
+    durable: Option<Mutex<durable::Durability>>,
 }
 
 impl DbShared {
@@ -515,15 +523,27 @@ impl Database {
     /// Wrap an existing catalog (e.g. one produced by
     /// [`tpch::generate`]).
     pub fn from_catalog(catalog: Catalog) -> Database {
+        Database::assemble(catalog, 0, None)
+    }
+
+    /// Common constructor behind [`Database::from_catalog`] and
+    /// [`Database::open`]: durable opens restore the schema version to
+    /// the last applied LSN.
+    pub(crate) fn assemble(
+        catalog: Catalog,
+        version: u64,
+        durable: Option<Mutex<durable::Durability>>,
+    ) -> Database {
         Database {
             shared: Arc::new(DbShared {
                 id: next_db_id(),
                 catalog: RwLock::new(catalog),
-                version: AtomicU64::new(0),
+                version: AtomicU64::new(version),
                 admission: Mutex::new(Arc::new(AdmissionController::new(
                     AdmissionConfig::default().with_env(),
                 ))),
                 next_session: AtomicU64::new(1),
+                durable,
             }),
         }
     }
@@ -598,22 +618,59 @@ impl Database {
         columns: Vec<Column>,
         primary_key: &[&str],
     ) -> Result<(), NraError> {
+        let mut table = Table::new(name, Schema::new(columns));
+        if !primary_key.is_empty() {
+            table.set_primary_key(primary_key)?;
+        }
+        self.add_table(table)
+    }
+
+    /// Register a fully-built [`Table`] (schema, primary key, and any
+    /// pre-loaded rows and statistics). On a durable database the whole
+    /// table is logged as one atomic `CreateTable` record before it
+    /// becomes visible.
+    pub fn add_table(&self, table: Table) -> Result<(), NraError> {
+        let name = table.name();
         if name == "nra_sys" || name.starts_with(sys::PREFIX) {
             return Err(NraError::Sql(SqlError::bind(format!(
                 "`nra_sys` is a reserved schema; cannot create table `{name}`"
             ))));
         }
-        let mut table = Table::new(name, Schema::new(columns));
-        if !primary_key.is_empty() {
-            table.set_primary_key(primary_key)?;
+        let mut guard = self.catalog_mut();
+        if guard.contains(table.name()) {
+            return Err(NraError::Storage(StorageError::DuplicateTable(
+                table.name().to_string(),
+            )));
         }
-        self.catalog_mut().add_table(table)?;
+        // Write-ahead: the record is durable before the table exists.
+        if self.is_durable() {
+            self.durable_log(&storage::wal::WalRecord::CreateTable(table.clone()))?;
+        }
+        guard.add_table(table)?;
+        drop(guard);
+        self.after_durable_mutation();
         Ok(())
     }
 
     /// Insert rows into a table (validating types, arity, NOT NULL).
     pub fn insert(&self, table: &str, rows: Vec<Tuple>) -> Result<(), NraError> {
-        self.catalog_mut().table_mut(table)?.insert_many(rows)?;
+        let mut guard = self.catalog_mut();
+        let t = guard.table_mut(table)?;
+        if self.is_durable() {
+            // Pre-validate every row so the logged record is exactly
+            // what the in-memory apply will accept: an acknowledged
+            // insert is all-or-nothing on disk and in memory.
+            for row in &rows {
+                t.data().validate(row)?;
+            }
+            self.durable_log(&storage::wal::WalRecord::Insert {
+                table: table.to_string(),
+                rows: rows.clone(),
+            })?;
+        }
+        t.insert_many(rows)?;
+        drop(guard);
+        self.after_durable_mutation();
         Ok(())
     }
 
@@ -660,6 +717,10 @@ impl Database {
         sql: &str,
         options: &QueryOptions,
     ) -> Result<QueryOutcome, NraError> {
+        // Strict configuration gate: a malformed NRA_FAULT /
+        // NRA_MEM_LIMIT / NRA_BATCH_ROWS is an error up front, not a
+        // setting that silently arms nothing.
+        engine::config::validate_env().map_err(NraError::Engine)?;
         let _budget = options
             .threads
             .map(|n| nra_engine::exec::set_threads(Some(n)));
@@ -1056,7 +1117,17 @@ impl Database {
     /// choices, so cached plans are invalidated.
     fn run_analyze(&self, table: &str, threads: usize) -> Result<QueryOutcome, NraError> {
         let stats = self.catalog().table(table)?.analyze();
+        if self.is_durable() {
+            // Statistics steer the planner; losing them across a
+            // restart would silently change plan shapes, so ANALYZE is
+            // logged like any other catalog mutation.
+            self.durable_log(&storage::wal::WalRecord::Analyze {
+                table: table.to_string(),
+                stats: stats.clone(),
+            })?;
+        }
         self.shared.invalidate_plans();
+        self.after_durable_mutation();
         nra_obs::metrics::both(|m| m.counter_add("nra_analyze_total", &[("table", table)], 1));
         let mut plan = format!("analyze {table}: {} row(s)\n", stats.row_count);
         for col in &stats.columns {

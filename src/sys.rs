@@ -128,10 +128,11 @@ fn build_sys_table(db: &Database, full_name: &str, kind: &str) -> Result<Table, 
         "table_stats" => table_stats_table(full_name, &db.catalog()),
         "operators" => operators_table(full_name),
         "plan_cache" => plan_cache_table(full_name, db),
+        "wal" => wal_table(full_name, db),
         other => {
             return Err(NraError::Sql(SqlError::bind(format!(
                 "unknown system table `nra_sys.{other}` \
-                 (available: queries, running, metrics, table_stats, operators, plan_cache)"
+                 (available: queries, running, metrics, table_stats, operators, plan_cache, wal)"
             ))))
         }
     })
@@ -211,6 +212,41 @@ fn plan_cache_table(name: &str, db: &Database) -> Table {
             ]
         })
         .collect();
+    fill(table, rows)
+}
+
+/// `nra_sys.wal`: durability state of this database — one row for a
+/// durable database (LSN watermarks, log size, recovery summary),
+/// empty for an in-memory one.
+fn wal_table(name: &str, db: &Database) -> Table {
+    let table = Table::new(
+        name,
+        Schema::new(vec![
+            Column::not_null("dir", ColumnType::Str),
+            Column::not_null("last_lsn", ColumnType::Int),
+            Column::not_null("snapshot_lsn", ColumnType::Int),
+            Column::not_null("wal_bytes", ColumnType::Int),
+            Column::not_null("records_since_checkpoint", ColumnType::Int),
+            Column::not_null("poisoned", ColumnType::Bool),
+            Column::not_null("recovered_records", ColumnType::Int),
+            Column::not_null("dropped_records", ColumnType::Int),
+            Column::not_null("repaired", ColumnType::Bool),
+        ]),
+    );
+    let rows = match (db.durability(), db.recovery()) {
+        (Some(info), Some(report)) => vec![vec![
+            Value::Str(info.dir.display().to_string()),
+            int(info.last_lsn),
+            int(info.snapshot_lsn),
+            int(info.wal_bytes),
+            int(info.records_since_checkpoint),
+            Value::Bool(info.poisoned),
+            int(report.replayed),
+            int(report.dropped_records),
+            Value::Bool(report.repaired),
+        ]],
+        _ => Vec::new(),
+    };
     fill(table, rows)
 }
 
